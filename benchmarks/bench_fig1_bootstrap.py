@@ -1,0 +1,38 @@
+"""EXP-F1 — Fig. 1: HTTPS bootstrap milestones vs closed forms.
+
+Regenerates the timing analysis of §3.2: per-path measured ψ (complete
+video-info JSON) and π (first video packet) against ``ψ = 6R + Δ1 + Δ2``
+and ``π ≈ ψ + η``, plus the fast path's head start ``≈ 10(θ−1)R₁``,
+for θ ∈ {1.5, 2, 2.5, 3}.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.experiments import fig1_bootstrap_timing
+
+
+def test_fig1_bootstrap_milestones(benchmark, record_result):
+    result = run_once(benchmark, fig1_bootstrap_timing)
+    record_result("fig1", result.rendered)
+
+    for theta_label, data in result.raw.items():
+        measured = data["measured"]
+        predicted = data["predicted"]
+        # Closed forms hold within 15 % (the residual is the JSON body
+        # transfer, which the formula rounds to "two round trips").
+        for key in ("psi_wifi", "psi_lte", "pi_wifi", "pi_lte"):
+            assert measured[key] == pytest.approx(
+                predicted[key], rel=0.15
+            ), f"{theta_label}:{key}"
+        # Head start tracks 10(θ−1)R₁ within 10 % of π_lte's scale.
+        assert abs(measured["head_start"] - predicted["head_start"]) < (
+            0.10 * predicted["pi_lte"] + 1e-3
+        )
+
+
+def test_fig1_head_start_grows_with_theta(benchmark, record_result):
+    result = run_once(benchmark, fig1_bootstrap_timing)
+    head_starts = [data["measured"]["head_start"] for data in result.raw.values()]
+    assert head_starts == sorted(head_starts)
+    record_result("fig1_theta_scan", result.rendered)

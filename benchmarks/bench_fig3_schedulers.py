@@ -1,0 +1,122 @@
+"""EXP-F3 — Fig. 3: scheduler × pre-buffer duration × initial chunk size.
+
+Paper claims (§5.2):
+* download time decreases as the initial chunk size grows (request
+  overhead amortizes) — strongest for the Ratio baseline, which never
+  adapts the slow path's chunk away from B;
+* the dynamic schedulers (Harmonic, EWMA) beat the Ratio baseline in
+  most cells ("the baseline scheduler does not perform well");
+* Harmonic at 256 KB performs close to 1 MB, which is why the paper
+  defaults to 256 KB.
+
+Shape assertions below mirror those claims.  One paper claim — Ratio
+showing the *highest variability* — does not reproduce under our
+calibrated testbed profile (see EXPERIMENTS.md, deviation D2): our
+simulated links drift more gently than the authors' real WiFi/LTE, and
+gentle drift is the one regime where a memoryless ratio rule is steady.
+We assert instead the robust form: Ratio's worst cell is far worse than
+the dynamic schedulers' worst cell.
+"""
+
+import numpy as np
+from conftest import run_once, trials
+
+from repro.analysis.experiments import fig3_scheduler_sweep
+from repro.units import KB, MB, format_size
+
+CHUNKS = (16 * KB, 64 * KB, 256 * KB, 1 * MB)
+PREBUFFERS = (20.0, 40.0, 60.0)
+
+
+def test_fig3_scheduler_sweep(benchmark, record_result):
+    result = run_once(benchmark, fig3_scheduler_sweep, trials=trials())
+    record_result("fig3", result.rendered)
+    raw = result.raw
+
+    def median(scheduler, chunk, prebuffer):
+        return raw[f"{scheduler}/{format_size(chunk)}/{prebuffer:.0f}s"]["median"]
+
+    # (1a) Ratio never adapts its base chunk: the 16 KB → 1 MB
+    # improvement is large at every duration.
+    for prebuffer in PREBUFFERS:
+        assert median("ratio", 1 * MB, prebuffer) < 0.8 * median(
+            "ratio", 16 * KB, prebuffer
+        ), prebuffer
+
+    # (1b) Dynamic schedulers adapt away from the initial size, but
+    # 16 KB still never *beats* larger chunks by a meaningful margin.
+    for scheduler in ("harmonic", "ewma"):
+        for prebuffer in PREBUFFERS:
+            smallest = median(scheduler, 16 * KB, prebuffer)
+            for chunk in (256 * KB, 1 * MB):
+                assert median(scheduler, chunk, prebuffer) <= 1.10 * smallest, (
+                    scheduler,
+                    prebuffer,
+                    format_size(chunk),
+                )
+
+    # (2) Dynamic schedulers beat the baseline in the majority of cells.
+    wins = 0
+    cells = 0
+    for chunk in CHUNKS:
+        for prebuffer in PREBUFFERS:
+            cells += 1
+            best_dynamic = min(
+                median("harmonic", chunk, prebuffer), median("ewma", chunk, prebuffer)
+            )
+            if best_dynamic <= median("ratio", chunk, prebuffer):
+                wins += 1
+    assert wins / cells >= 0.6, f"dynamic schedulers won only {wins}/{cells} cells"
+
+    # (3) "The baseline scheduler does not perform well": its worst
+    # configuration is far worse than the dynamic schedulers' worst.
+    def worst(scheduler):
+        return max(median(scheduler, c, p) for c in CHUNKS for p in PREBUFFERS)
+
+    assert worst("ratio") > 1.3 * max(worst("harmonic"), worst("ewma"))
+
+
+def test_fig3_harmonic_256k_matches_1mb(benchmark, record_result):
+    """§5.2: harmonic at 256 KB performs close to 1 MB — the reason the
+    paper defaults to 256 KB (smaller bursts)."""
+    result = run_once(
+        benchmark,
+        fig3_scheduler_sweep,
+        trials=trials(),
+        prebuffers=(40.0,),
+        chunks=(256 * KB, 1 * MB),
+        schedulers=("harmonic",),
+    )
+    record_result("fig3_256k_vs_1mb", result.rendered)
+    m256 = result.raw["harmonic/256KB/40s"]["median"]
+    m1m = result.raw["harmonic/1MB/40s"]["median"]
+    assert m256 <= 1.35 * m1m
+
+
+def test_fig3_request_overhead_mechanism(benchmark, record_result):
+    """The mechanism behind the chunk-size trend: small chunks mean many
+    more range requests for the same bytes (each paying an RTT)."""
+    from repro.core.config import PlayerConfig
+    from repro.sim.driver import MSPlayerDriver
+    from repro.sim.profiles import testbed_profile
+    from repro.sim.scenario import Scenario, ScenarioConfig
+
+    def run():
+        counts = {}
+        for chunk in (16 * KB, 1 * MB):
+            scenario = Scenario(
+                testbed_profile(), seed=12, config=ScenarioConfig(video_duration_s=120.0)
+            )
+            config = PlayerConfig(scheduler="ratio", base_chunk_bytes=chunk)
+            outcome = MSPlayerDriver(scenario, config, stop="prebuffer").run()
+            counts[chunk] = sum(outcome.requests_by_path.values())
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts[16 * KB] > 5 * counts[1 * MB]
+    record_result(
+        "fig3_mechanism",
+        "Fig. 3 mechanism — range requests issued for a 40 s pre-buffer "
+        f"(Ratio): 16KB chunks -> {counts[16 * KB]} requests, "
+        f"1MB chunks -> {counts[1 * MB]} requests",
+    )

@@ -1,0 +1,37 @@
+"""EXP-F5 — Fig. 5: re-buffering refill times.
+
+Paper: refilling 20/40/60 s of video with fixed-chunk single-path
+players (64 KB Flash, 256 KB HTML5, over WiFi or LTE) versus MSPlayer.
+Claims: larger chunks refill faster (fewer request round trips);
+MSPlayer refills fastest everywhere.
+"""
+
+from conftest import run_once, trials
+
+from repro.analysis.experiments import fig5_rebuffer
+
+
+def test_fig5_rebuffer(benchmark, record_result):
+    result = run_once(benchmark, fig5_rebuffer, trials=max(trials() // 2, 4))
+    record_result("fig5", result.rendered)
+    raw = result.raw
+
+    for duration in ("20s", "40s", "60s"):
+        medians = raw[duration]
+        # Chunk-size effect per interface (Fig. 5's within-group bars).
+        assert medians["WiFi 256KB"] < medians["WiFi 64KB"], duration
+        assert medians["LTE 256KB"] < medians["LTE 64KB"], duration
+        # WiFi beats LTE at equal chunk size.
+        assert medians["WiFi 256KB"] < medians["LTE 256KB"], duration
+        # MSPlayer is the fastest configuration.
+        singles = [v for k, v in medians.items() if k != "MSPlayer"]
+        assert medians["MSPlayer"] < min(singles), duration
+
+
+def test_fig5_refill_scales_with_amount(benchmark, record_result):
+    result = run_once(benchmark, fig5_rebuffer, trials=4)
+    raw = result.raw
+    # Refilling more video takes longer, for every player.
+    for player in ("WiFi 256KB", "LTE 256KB", "MSPlayer"):
+        assert raw["20s"][player] < raw["60s"][player]
+    record_result("fig5_scaling", result.rendered)

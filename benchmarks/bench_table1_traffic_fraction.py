@@ -1,0 +1,31 @@
+"""EXP-T1 — Table 1: fraction of traffic carried over WiFi.
+
+Paper (mean ± std, initial chunk 256 KB):
+
+    Pre-buffering: 64.1±9.3 / 60.1±15.0 / 63.7±12.6 % (20/40/60 s)
+    Re-buffering:  61.8±7.1 / 61.7±11.5 / 56.5±11.6 %
+
+The load-bearing claims: WiFi (the fast path, θ ≈ 2–3) carries the
+*majority* of bytes in both phases, thanks to its bootstrap head start
+(pre-buffering) and its lower per-request RTT tax (re-buffering), and
+the shares stay in a 50–80 % band rather than saturating to 100 %.
+"""
+
+from conftest import run_once, trials
+
+from repro.analysis.experiments import table1_traffic_fraction
+
+
+def test_table1_traffic_fraction(benchmark, record_result):
+    result = run_once(benchmark, table1_traffic_fraction, trials=trials())
+    record_result("table1", result.rendered)
+    raw = result.raw
+
+    for duration in ("20s", "40s", "60s"):
+        for phase in ("prebuffer", "rebuffer"):
+            mean = raw[duration][f"{phase}_mean"]
+            std = raw[duration][f"{phase}_std"]
+            assert 0.50 <= mean <= 0.85, (duration, phase, mean)
+            # Run-to-run spread exists (the paper reports ±7–15 %) but
+            # stays moderate.
+            assert std <= 0.25, (duration, phase, std)

@@ -1,0 +1,27 @@
+"""EXP-X2 — source diversity ablation: MSPlayer vs MPTCP-analogue.
+
+§2's argument against single-server multipath: "users streaming videos
+from one server with high aggregate bandwidth through multiple paths
+could quickly incur server demand surges".  With overloadable servers,
+the MPTCP-like player (both subflows on one server) concentrates 100 %
+of the demand and starts up slower; MSPlayer spreads the load.
+"""
+
+from conftest import run_once, trials
+
+from repro.analysis.experiments import x2_source_diversity
+
+
+def test_x2_source_diversity(benchmark, record_result):
+    result = run_once(benchmark, x2_source_diversity, trials=max(trials() // 2, 5))
+    record_result("x2", result.rendered)
+    raw = result.raw
+
+    # Load concentration: all-on-one vs spread-across-two.
+    assert raw["mptcp_like"]["peak_server_share"] > 0.99
+    assert raw["msplayer"]["peak_server_share"] < 0.85
+
+    # With an overloadable server, diversity also wins on start-up.
+    assert (
+        raw["msplayer"]["median_startup_s"] < raw["mptcp_like"]["median_startup_s"]
+    )

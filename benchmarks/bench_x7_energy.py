@@ -1,0 +1,92 @@
+"""EXP-X7 — the energy cost of multipath (§7 future work, [17]).
+
+    "Our scheduler currently does not take into account energy
+    constraints when leveraging multiple interfaces on mobile devices."
+
+Quantifies the constraint: MSPlayer (two radios) versus single-path
+WiFi and LTE for the same 40 s pre-buffer, under the LTE-tail energy
+model of Huang et al. [17].  Expected shape: MSPlayer finishes fastest
+but pays for the LTE radio; WiFi-only is the energy-efficient choice;
+LTE-only is dominated (slow *and* hungry) — exactly the trade-off an
+energy-aware scheduler would navigate.
+"""
+
+import numpy as np
+from conftest import trials
+
+from repro.analysis.tables import format_table
+from repro.core.config import PlayerConfig
+from repro.ext.energy import EnergyModel, LTE_ENERGY, WIFI_ENERGY
+from repro.sim.driver import MSPlayerDriver
+from repro.sim.profiles import youtube_profile
+from repro.sim.scenario import Scenario, ScenarioConfig
+from repro.sim.singlepath import HTML5_CHUNK, SinglePathDriver
+
+
+def run_comparison(n_trials: int):
+    config = PlayerConfig()
+    model_dual = EnergyModel({0: WIFI_ENERGY, 1: LTE_ENERGY})
+    model_wifi = EnergyModel({0: WIFI_ENERGY})
+    model_lte = EnergyModel({1: LTE_ENERGY})
+
+    measurements = {"MSPlayer": [], "WiFi only": [], "LTE only": []}
+    for seed in range(n_trials):
+        world = lambda: Scenario(
+            youtube_profile(), seed=seed, config=ScenarioConfig(video_duration_s=150.0)
+        )
+        ms = MSPlayerDriver(world(), config, stop="prebuffer").run()
+        measurements["MSPlayer"].append(
+            (ms.startup_delay, model_dual.report(ms.metrics))
+        )
+        wifi = SinglePathDriver(world(), 0, HTML5_CHUNK, config, stop="prebuffer").run()
+        measurements["WiFi only"].append(
+            (wifi.startup_delay, model_wifi.report(wifi.metrics))
+        )
+        lte_outcome = SinglePathDriver(
+            world(), 1, HTML5_CHUNK, config, stop="prebuffer"
+        ).run()
+        # Single-path drivers record under the interface index; LTE is 1.
+        measurements["LTE only"].append(
+            (lte_outcome.startup_delay, model_lte.report(lte_outcome.metrics))
+        )
+
+    rows = []
+    raw = {}
+    for player, samples in measurements.items():
+        delays = [delay for delay, _ in samples]
+        joules = [report.total_joules for _, report in samples]
+        raw[player] = {
+            "median_startup_s": float(np.median(delays)),
+            "mean_joules": float(np.mean(joules)),
+        }
+        rows.append(
+            {
+                "player": player,
+                "median start-up (s)": f"{np.median(delays):.2f}",
+                "session energy (J)": f"{np.mean(joules):.1f}",
+            }
+        )
+    rendered = format_table(
+        rows,
+        title="EXP-X7 — energy vs start-up, 40 s pre-buffer "
+        "(radio model: Huang et al. [17])",
+    )
+    return rendered, raw
+
+
+def test_x7_energy_tradeoff(benchmark, record_result):
+    rendered, raw = benchmark.pedantic(
+        run_comparison, args=(max(trials() // 2, 5),), rounds=1, iterations=1
+    )
+    record_result("x7", rendered)
+
+    # Speed ordering (Fig. 4's result, restated).
+    assert raw["MSPlayer"]["median_startup_s"] < raw["WiFi only"]["median_startup_s"]
+    # Energy ordering: the WiFi radio alone is cheapest; adding LTE
+    # costs joules (the §7 constraint an energy-aware scheduler would
+    # weigh).
+    assert raw["WiFi only"]["mean_joules"] < raw["MSPlayer"]["mean_joules"]
+    # LTE-only is dominated: slower than MSPlayer *and* hungrier than
+    # WiFi-only (the long LTE tail).
+    assert raw["LTE only"]["median_startup_s"] > raw["MSPlayer"]["median_startup_s"]
+    assert raw["LTE only"]["mean_joules"] > raw["WiFi only"]["mean_joules"]

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper figure/table via the experiment
+functions in :mod:`repro.analysis.experiments`, asserts the *shape*
+claims (orderings, trends — not absolute seconds), prints the rendered
+panel, and archives it under ``benchmarks/results/``.
+
+Trial count: the paper repeats 20×; benches default to 10 for CI speed.
+Set ``REPRO_TRIALS=20`` for a full paper-fidelity run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def trials(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_TRIALS", default))
+
+
+@pytest.fixture
+def record_result(capsys):
+    """Print a rendered experiment and archive it to results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scheduler playground: watch Algorithm 1 react to bandwidth swings.
+
+Feeds the three schedulers (Ratio / EWMA / Harmonic) an identical
+scripted throughput trace for two paths — stable, then an LTE collapse,
+then recovery with a burst — and prints the chunk-size decisions side
+by side.  A compact way to see why the paper picked the harmonic mean:
+the burst barely moves it, the collapse halves chunks promptly, and the
+recovery doubles them back.
+
+Run:  python examples/scheduler_playground.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PlayerConfig
+from repro.core.schedulers import make_scheduler
+from repro.units import KB, format_size
+
+#: (wifi_throughput, lte_throughput) in bytes/s per completed round.
+TRACE = (
+    [(1_300_000.0, 700_000.0)] * 4  # steady state
+    + [(1_300_000.0, 150_000.0)] * 4  # LTE collapses (cell load)
+    + [(1_300_000.0, 5_000_000.0)] * 1  # one freak LTE burst
+    + [(1_300_000.0, 700_000.0)] * 5  # recovery
+)
+
+
+def main() -> None:
+    schedulers = {}
+    for name in ("ratio", "ewma", "harmonic"):
+        scheduler = make_scheduler(PlayerConfig(scheduler=name, base_chunk_bytes=256 * KB))
+        scheduler.register_path(0)
+        scheduler.register_path(1)
+        schedulers[name] = scheduler
+
+    header = f"{'round':>5} {'wifi w':>9} {'lte w':>9} |"
+    for name in schedulers:
+        header += f" {name + ' S0':>12} {name + ' S1':>12} |"
+    print(header)
+    print("-" * len(header))
+
+    for round_index, (wifi_w, lte_w) in enumerate(TRACE):
+        row = f"{round_index:>5} {wifi_w / 1e6:>8.2f}M {lte_w / 1e6:>8.2f}M |"
+        for name, scheduler in schedulers.items():
+            # Each path completed a chunk at its measured throughput:
+            # sizes chosen so duration is positive and consistent.
+            scheduler.record(0, int(wifi_w), 1.0)
+            scheduler.record(1, int(lte_w), 1.0)
+            row += (
+                f" {format_size(scheduler.chunk_size(0)):>12}"
+                f" {format_size(scheduler.chunk_size(1)):>12} |"
+            )
+        print(row)
+
+    print("\nestimates after the trace:")
+    for name, scheduler in schedulers.items():
+        wifi_est = scheduler.estimate(0)
+        lte_est = scheduler.estimate(1)
+        print(
+            f"  {name:9s} wifi {wifi_est / 1e6:5.2f} MB/s   "
+            f"lte {lte_est / 1e6:5.2f} MB/s"
+        )
+    print(
+        "\nNote how the single 5 MB/s LTE burst (round 8) barely moves the "
+        "harmonic estimate\nwhile EWMA and Ratio overshoot — §3.3's rationale."
+    )
+
+
+if __name__ == "__main__":
+    main()

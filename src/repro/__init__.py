@@ -1,0 +1,82 @@
+"""MSPlayer reproduction — multi-source, multi-path video streaming.
+
+A from-scratch Python reproduction of *MSPlayer: Multi-Source and
+multi-Path LeverAged YoutubER* (Chen, Towsley, Khalili — ACM CoNEXT
+2014), including every substrate the paper's evaluation ran on: a
+discrete-event network simulator with WiFi/LTE dynamics, an emulated
+YouTube control and data plane, the MSPlayer chunk schedulers, the
+single-path commercial-player baselines, and a real-socket asyncio
+backend for integration testing.
+
+Quickstart::
+
+    from repro import PlayerConfig, Scenario, MSPlayerDriver, testbed_profile
+
+    scenario = Scenario(testbed_profile(), seed=1)
+    outcome = MSPlayerDriver(scenario, PlayerConfig(), stop="prebuffer").run()
+    print(f"pre-buffered 40s of 720p in {outcome.startup_delay:.2f}s")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured result tables.
+"""
+
+from .core import (
+    ChunkLedger,
+    ChunkScheduler,
+    DCSAScheduler,
+    EWMAEstimator,
+    HarmonicMeanEstimator,
+    PlayerConfig,
+    PlayerSession,
+    PlayoutBuffer,
+    QoEMetrics,
+    RatioScheduler,
+    dynamic_chunk_size_adjustment,
+    make_estimator,
+    make_scheduler,
+)
+from .sim import (
+    MSPlayerDriver,
+    Scenario,
+    ScenarioConfig,
+    SessionOutcome,
+    SinglePathDriver,
+    TrialRunner,
+    mobility_profile,
+    testbed_profile,
+    youtube_profile,
+)
+from .units import KB, MB, format_size, mbit, parse_size
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PlayerConfig",
+    "PlayerSession",
+    "PlayoutBuffer",
+    "ChunkLedger",
+    "ChunkScheduler",
+    "RatioScheduler",
+    "DCSAScheduler",
+    "EWMAEstimator",
+    "HarmonicMeanEstimator",
+    "make_estimator",
+    "make_scheduler",
+    "dynamic_chunk_size_adjustment",
+    "QoEMetrics",
+    "Scenario",
+    "ScenarioConfig",
+    "MSPlayerDriver",
+    "SinglePathDriver",
+    "SessionOutcome",
+    "TrialRunner",
+    "testbed_profile",
+    "youtube_profile",
+    "mobility_profile",
+    "KB",
+    "MB",
+    "mbit",
+    "parse_size",
+    "format_size",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Result analysis: summary statistics and text rendering.
+
+The benchmarks print paper-style tables and ASCII distribution plots
+from these helpers; keeping them in the library (rather than inline in
+bench scripts) makes the experiment outputs testable.
+"""
+
+from .stats import (
+    Summary,
+    bootstrap_ci,
+    harmonic_mean,
+    iqr,
+    median,
+    percentile,
+    summarize,
+)
+from .tables import ascii_boxplot, format_table, render_distribution_rows
+
+__all__ = [
+    "Summary",
+    "median",
+    "percentile",
+    "iqr",
+    "harmonic_mean",
+    "bootstrap_ci",
+    "summarize",
+    "format_table",
+    "ascii_boxplot",
+    "render_distribution_rows",
+]

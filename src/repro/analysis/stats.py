@@ -1,0 +1,116 @@
+"""Summary statistics for experiment results.
+
+Implemented directly (numpy only) so the analysis pipeline has no scipy
+dependency at runtime; scipy remains available to tests for
+cross-checking these implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median (the paper's headline statistic for Fig. 2)."""
+    if not len(values):
+        raise ConfigError("median of empty sample")
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not len(values):
+        raise ConfigError("percentile of empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def iqr(values: Sequence[float]) -> tuple[float, float]:
+    """(25th, 75th) percentiles — the box of a boxplot."""
+    return percentile(values, 25.0), percentile(values, 75.0)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Batch harmonic mean (cross-check for the incremental Eq. 2).
+
+    >>> round(harmonic_mean([100.0, 50.0]), 2)
+    66.67
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ConfigError("harmonic mean of empty sample")
+    if np.any(array <= 0):
+        raise ConfigError("harmonic mean requires positive values")
+    return float(array.size / np.sum(1.0 / array))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.median,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic``."""
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        raise ConfigError("bootstrap needs at least two samples")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    stats = np.empty(resamples)
+    for i in range(resamples):
+        stats[i] = statistic(rng.choice(array, size=array.size, replace=True))
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of one sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def row(self, label: str, unit: str = "s") -> dict[str, str]:
+        """A formatted table row."""
+        return {
+            "config": label,
+            "n": str(self.count),
+            f"median ({unit})": f"{self.median:.2f}",
+            f"mean ({unit})": f"{self.mean:.2f}",
+            "std": f"{self.std:.2f}",
+            "IQR": f"[{self.p25:.2f}, {self.p75:.2f}]",
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` from a sample."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ConfigError("summary of empty sample")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        p25=percentile(values, 25.0),
+        median=median(values),
+        p75=percentile(values, 75.0),
+        maximum=float(array.max()),
+    )

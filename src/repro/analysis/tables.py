@@ -1,0 +1,96 @@
+"""Text rendering for benchmark outputs.
+
+The paper's figures are boxplot panels; a terminal harness renders the
+same information as aligned tables plus ASCII box-whisker strips, so a
+``pytest benchmarks/`` run reproduces every figure as readable text.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigError
+from .stats import Summary, summarize
+
+
+def format_table(rows: list[dict[str, str]], title: str = "") -> str:
+    """Render dict-rows as an aligned monospace table.
+
+    >>> print(format_table([{"a": "1", "bb": "x"}]))
+    a | bb
+    --+---
+    1 | x
+    """
+    if not rows:
+        raise ConfigError("cannot format an empty table")
+    columns = list(rows[0])
+    widths = {c: max(len(c), *(len(r.get(c, "")) for r in rows)) for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(row.get(c, "").ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def ascii_boxplot(
+    summary: Summary, lo: float, hi: float, width: int = 48
+) -> str:
+    """One box-whisker strip scaled to [lo, hi].
+
+    ``|`` marks min/max whisker ends, ``[`` ``]`` the quartiles, ``*``
+    the median — enough to eyeball the Fig. 2/3/4/5 panels in a
+    terminal.
+    """
+    if hi <= lo:
+        raise ConfigError(f"bad scale [{lo}, {hi}]")
+    if width < 8:
+        raise ConfigError("width too small for a boxplot")
+
+    def pos(value: float) -> int:
+        clamped = min(max(value, lo), hi)
+        return int(round((clamped - lo) / (hi - lo) * (width - 1)))
+
+    cells = [" "] * width
+    for start, end in ((pos(summary.minimum), pos(summary.p25)),
+                       (pos(summary.p75), pos(summary.maximum))):
+        for i in range(min(start, end), max(start, end) + 1):
+            cells[i] = "-"
+    for i in range(pos(summary.p25), pos(summary.p75) + 1):
+        cells[i] = "="
+    cells[pos(summary.minimum)] = "|"
+    cells[pos(summary.maximum)] = "|"
+    cells[pos(summary.p25)] = "["
+    cells[pos(summary.p75)] = "]"
+    cells[pos(summary.median)] = "*"
+    return "".join(cells)
+
+
+def render_distribution_rows(
+    labelled_samples: list[tuple[str, Sequence[float]]],
+    unit: str = "s",
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """A figure panel: one labelled boxplot row per configuration."""
+    if not labelled_samples:
+        raise ConfigError("no samples to render")
+    summaries = [(label, summarize(values)) for label, values in labelled_samples]
+    lo = min(s.minimum for _, s in summaries)
+    hi = max(s.maximum for _, s in summaries)
+    if hi <= lo:  # degenerate: all identical
+        hi = lo + 1.0
+    label_width = max(len(label) for label, _ in summaries)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':<{label_width}}  {lo:>8.2f}{unit}{'':<{width - 18}}{hi:>8.2f}{unit}"
+    )
+    for label, summary in summaries:
+        strip = ascii_boxplot(summary, lo, hi, width=width)
+        lines.append(f"{label:<{label_width}}  {strip}  median={summary.median:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Emulated YouTube-like video service.
+
+The control and data planes MSPlayer talks to (§3.1, §4), rebuilt as
+simulation applications:
+
+* a **catalog** of videos with multiple bitrate/format profiles
+  (:mod:`repro.cdn.videos`, :mod:`repro.cdn.catalog`);
+* **web proxy servers** that authenticate a client, pick video servers
+  in the client's network, mint hour-long access tokens, and return
+  everything as a JSON blob (:mod:`repro.cdn.webproxy`,
+  :mod:`repro.cdn.tokens`, :mod:`repro.cdn.jsonapi`);
+* the **signature cipher** dance YouTube added for copyrighted videos
+  in July 2014 — footnote 1 of the paper (:mod:`repro.cdn.signature`);
+* **video servers** that validate tokens and serve HTTP range requests
+  over the simulated network (:mod:`repro.cdn.videoserver`);
+* **server selection** per client network plus failover pools
+  (:mod:`repro.cdn.selection`) and a one-call deployment builder
+  (:mod:`repro.cdn.deployment`).
+"""
+
+from .videos import FORMATS, VideoAsset, VideoFormat, VideoMeta
+from .catalog import Catalog, make_video_id
+from .tokens import TokenMint
+from .signature import SignatureCipher, decipher
+from .jsonapi import VideoInfo, build_video_info, parse_video_info
+from .webproxy import WebProxyApp
+from .videoserver import VideoServerApp
+from .selection import ServerSelection
+from .deployment import CDNConfig, CDNDeployment, NetworkPool
+
+__all__ = [
+    "VideoFormat",
+    "VideoMeta",
+    "VideoAsset",
+    "FORMATS",
+    "Catalog",
+    "make_video_id",
+    "TokenMint",
+    "SignatureCipher",
+    "decipher",
+    "VideoInfo",
+    "build_video_info",
+    "parse_video_info",
+    "WebProxyApp",
+    "VideoServerApp",
+    "ServerSelection",
+    "CDNConfig",
+    "CDNDeployment",
+    "NetworkPool",
+]

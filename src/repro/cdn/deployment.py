@@ -1,0 +1,183 @@
+"""One-call construction of a complete emulated YouTube deployment.
+
+The testbed of §5 is two networks × (one web proxy + video servers);
+the real service of §6 is the same shape with more replicas and longer
+paths.  :class:`CDNDeployment` builds either from a :class:`CDNConfig`:
+hosts, applications, DNS records, token mint, signature cipher, and the
+server-selection pools, all wired onto a :class:`~repro.net.topology.Network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..http.server import SimHTTPServer
+from ..net.dns import StubResolver
+from ..net.env import Environment
+from ..net.tls import TLSParams
+from ..net.topology import Host, Network
+from .catalog import Catalog
+from .selection import ServerSelection
+from .signature import SignatureCipher
+from .tokens import TokenMint
+from .videoserver import VideoServerApp
+from .webproxy import WebProxyApp
+
+#: The well-known name players resolve first (§3.1).
+PROXY_DNS_NAME = "www.youtube.example"
+
+
+@dataclass
+class NetworkPool:
+    """The servers reachable from one client network."""
+
+    network_id: str
+    proxy_hosts: list[Host] = field(default_factory=list)
+    video_hosts: list[Host] = field(default_factory=list)
+    video_apps: list[VideoServerApp] = field(default_factory=list)
+
+
+@dataclass
+class CDNConfig:
+    """Shape of a deployment."""
+
+    #: Client networks (one per interface): e.g. ["wifi-net", "lte-net"].
+    networks: tuple[str, ...] = ("wifi-net", "lte-net")
+    proxies_per_network: int = 1
+    video_servers_per_network: int = 2
+    selection_policy: str = "static"
+    tls: TLSParams = field(default_factory=TLSParams)
+    #: Extra one-way distance to proxy/video hosts, per network (seconds).
+    proxy_distance: float = 0.002
+    video_distance: float = 0.002
+    #: Server service-time model (see SimHTTPServer).
+    base_service_time: float = 0.002
+    per_megabyte_service_time: float = 0.001
+    #: Concurrent requests beyond which a video server degrades.
+    overload_threshold: int | None = None
+    token_ttl_s: float = 3600.0
+    api_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.networks) < 1:
+            raise ConfigError("deployment needs at least one network")
+        if self.proxies_per_network < 1 or self.video_servers_per_network < 1:
+            raise ConfigError("each network needs at least one proxy and one video server")
+
+
+class CDNDeployment:
+    """A built deployment: hosts, apps, selection, DNS."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        catalog: Catalog,
+        config: CDNConfig,
+        rng: np.random.Generator,
+        resolver: StubResolver | None = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.catalog = catalog
+        self.config = config
+        self.resolver = resolver
+        self.mint = TokenMint(secret=b"deployment-token-secret", ttl_s=config.token_ttl_s)
+        self.cipher = SignatureCipher.random(rng)
+        self.signature_secret = b"deployment-stream-secret"
+        self.selection = ServerSelection(config.selection_policy)
+        self.pools: dict[str, NetworkPool] = {}
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+
+    def _clock(self) -> Callable[[], float]:
+        return lambda: self.env.now
+
+    def _build(self) -> None:
+        config = self.config
+        for network_id in config.networks:
+            pool = NetworkPool(network_id)
+            for index in range(config.video_servers_per_network):
+                address = f"v{index + 1}.{network_id}.example"
+                host = self.network.add_host(
+                    Host(
+                        address,
+                        tls=config.tls,
+                        extra_one_way_delay=config.video_distance,
+                        network_id=network_id,
+                    )
+                )
+                app = VideoServerApp(
+                    self.catalog,
+                    self.mint,
+                    self._clock(),
+                    pool=network_id,
+                    signature_secret=self.signature_secret,
+                    name=address,
+                )
+                SimHTTPServer(
+                    host,
+                    app,
+                    base_service_time=config.base_service_time,
+                    per_megabyte_service_time=config.per_megabyte_service_time,
+                    overload_threshold=config.overload_threshold,
+                )
+                pool.video_hosts.append(host)
+                pool.video_apps.append(app)
+            self.selection.add_pool(network_id, pool.video_hosts)
+
+            for index in range(config.proxies_per_network):
+                address = f"proxy{index + 1}.{network_id}.example"
+                host = self.network.add_host(
+                    Host(
+                        address,
+                        tls=config.tls,
+                        extra_one_way_delay=config.proxy_distance,
+                        network_id=network_id,
+                    )
+                )
+                app = WebProxyApp(
+                    self.catalog,
+                    self.mint,
+                    select_hosts=self.selection.select,
+                    clock=self._clock(),
+                    cipher=self.cipher,
+                    signature_secret=self.signature_secret,
+                    api_key=config.api_key,
+                )
+                SimHTTPServer(
+                    host,
+                    app,
+                    base_service_time=config.base_service_time,
+                    per_megabyte_service_time=config.per_megabyte_service_time,
+                )
+                pool.proxy_hosts.append(host)
+            self.pools[network_id] = pool
+
+            if self.resolver is not None:
+                self.resolver.add_record(
+                    PROXY_DNS_NAME,
+                    [h.address for h in pool.proxy_hosts],
+                    network_id=network_id,
+                )
+
+    # -- conveniences --------------------------------------------------------------
+
+    def proxy_address(self, network_id: str) -> str:
+        return self.pools[network_id].proxy_hosts[0].address
+
+    def video_addresses(self, network_id: str) -> list[str]:
+        return [h.address for h in self.pools[network_id].video_hosts]
+
+    def total_bytes_served(self) -> dict[str, int]:
+        """Per-video-server byte counts (load-concentration metric, EXP-X2)."""
+        served: dict[str, int] = {}
+        for pool in self.pools.values():
+            for host in pool.video_hosts:
+                served[host.address] = int(host.bytes_served)
+        return served

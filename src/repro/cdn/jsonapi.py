@@ -1,0 +1,171 @@
+"""The video-info JSON exchanged with the web proxy (§3.1, §4).
+
+The web proxy "encodes the token, together with the user's public IP
+address and the video's information (available video formats and
+quality, title, author, file size, video server domain names, …) in
+JavaScript Object Notation format".  This module owns both directions:
+servers build the payload, clients parse it into :class:`VideoInfo` and
+synthesize ``videoplayback`` URLs from a chosen stream.
+
+Parsing is strict — unknown statuses, missing fields, and malformed
+stream entries raise rather than limp along, because a wrong URL costs
+a real round trip in every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CDNError
+from .videos import FORMATS, VideoMeta
+
+#: JSON schema version, bumped if fields change shape.
+SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class StreamEntry:
+    """One downloadable format of the video."""
+
+    itag: int
+    quality: str
+    mime: str
+    size_bytes: int
+    #: Primary video server for this client, plus ordered fallbacks —
+    #: the per-network source list MSPlayer keeps for failover (§2).
+    hosts: tuple[str, ...]
+    #: Plain signature (non-copyrighted) …
+    signature: str = ""
+    #: … or enciphered signature (copyrighted; needs the decoder page).
+    enciphered_signature: str = ""
+
+    @property
+    def needs_decipher(self) -> bool:
+        return bool(self.enciphered_signature)
+
+
+@dataclass(frozen=True)
+class VideoInfo:
+    """Everything the player learns from one web-proxy exchange."""
+
+    video_id: str
+    title: str
+    author: str
+    duration_s: float
+    client_address: str
+    token: str
+    token_expires_in_s: float
+    pool: str
+    streams: tuple[StreamEntry, ...] = field(default_factory=tuple)
+    #: Where to fetch the signature decoder, when any stream needs it.
+    decoder_path: str = "/player.js"
+
+    def stream(self, itag: int) -> StreamEntry:
+        for entry in self.streams:
+            if entry.itag == itag:
+                return entry
+        raise CDNError(f"video {self.video_id} offers no itag {itag}")
+
+    def playback_target(self, itag: int, signature: str) -> str:
+        """Build the ``videoplayback`` request target (§4's synthesized URL)."""
+        return (
+            f"/videoplayback?v={self.video_id}&itag={itag}"
+            f"&token={self.token}&sig={signature}&pool={self.pool}"
+        )
+
+
+def build_video_info(
+    meta: VideoMeta,
+    sizes: dict[int, int],
+    client_address: str,
+    token: str,
+    ttl_s: float,
+    pool: str,
+    hosts: list[str],
+    signatures: dict[int, str],
+    enciphered: bool,
+) -> dict:
+    """Server side: assemble the JSON payload dict."""
+    streams = []
+    for itag in meta.itags:
+        fmt = FORMATS[itag]
+        signature = signatures[itag]
+        entry = {
+            "itag": itag,
+            "quality": fmt.resolution,
+            "mime": f"video/{fmt.container}",
+            "size": sizes[itag],
+            "hosts": hosts,
+        }
+        if enciphered:
+            entry["s"] = signature  # enciphered form uses the short key, like the real API
+        else:
+            entry["signature"] = signature
+        streams.append(entry)
+    # Real get_video_info responses run ~20 packets (§3.2: "delivered
+    # within two round trips, slightly less than 20 packets"): caption
+    # tracks, thumbnails, ad policy, per-format metadata.  Pad to that
+    # size so the ψ = 6R + Δ1 + Δ2 bootstrap cost emerges from the
+    # transfer itself rather than being hard-coded.
+    filler = "m" * 24_000
+    return {
+        "schema": SCHEMA,
+        "status": "ok",
+        "meta_blob": filler,
+        "video_id": meta.video_id,
+        "title": meta.title,
+        "author": meta.author,
+        "duration": meta.duration_s,
+        "client_ip": client_address,
+        "token": token,
+        "expires_in": ttl_s,
+        "pool": pool,
+        "streams": streams,
+        "decoder": "/player.js" if enciphered else "",
+    }
+
+
+def parse_video_info(payload: object) -> VideoInfo:
+    """Client side: validate and lift the JSON payload."""
+    if not isinstance(payload, dict):
+        raise CDNError(f"video info must be a JSON object, got {type(payload).__name__}")
+    if payload.get("schema") != SCHEMA:
+        raise CDNError(f"unsupported video-info schema {payload.get('schema')!r}")
+    if payload.get("status") != "ok":
+        raise CDNError(f"video info status {payload.get('status')!r}")
+    try:
+        streams = []
+        for raw in payload["streams"]:
+            streams.append(
+                StreamEntry(
+                    itag=int(raw["itag"]),
+                    quality=str(raw["quality"]),
+                    mime=str(raw["mime"]),
+                    size_bytes=int(raw["size"]),
+                    hosts=tuple(raw["hosts"]),
+                    signature=str(raw.get("signature", "")),
+                    enciphered_signature=str(raw.get("s", "")),
+                )
+            )
+        info = VideoInfo(
+            video_id=str(payload["video_id"]),
+            title=str(payload["title"]),
+            author=str(payload["author"]),
+            duration_s=float(payload["duration"]),
+            client_address=str(payload["client_ip"]),
+            token=str(payload["token"]),
+            token_expires_in_s=float(payload["expires_in"]),
+            pool=str(payload["pool"]),
+            streams=tuple(streams),
+            decoder_path=str(payload.get("decoder") or "/player.js"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CDNError(f"malformed video info: {exc!r}") from exc
+    if not info.streams:
+        raise CDNError("video info carries no streams")
+    for entry in info.streams:
+        if not entry.hosts:
+            raise CDNError(f"stream itag={entry.itag} lists no hosts")
+        if not entry.signature and not entry.enciphered_signature:
+            raise CDNError(f"stream itag={entry.itag} carries no signature")
+    return info

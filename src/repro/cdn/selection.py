@@ -1,0 +1,69 @@
+"""Server selection: which video servers a given client should use.
+
+YouTube resolves the client's public address and picks video servers
+accordingly [3]; because MSPlayer bootstraps through *both* interfaces,
+it receives a different server list per network — that is the source
+diversity the whole design leverages (§2).  :class:`ServerSelection`
+owns the per-network pools and the ordering policy:
+
+* ``static`` — fixed order (primary, backup, …), the testbed setup;
+* ``rotate`` — round-robin the primary across requests, spreading load
+  across replicas the way large CDNs do;
+* ``least_loaded`` — order by bytes served so far, a stand-in for
+  YouTube's capacity-aware selection.
+
+Only *up* hosts are returned; an empty answer means the pool is dark
+and the proxy responds 503.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError, ServerUnavailableError
+from ..net.topology import Host
+
+POLICIES = ("static", "rotate", "least_loaded")
+
+
+class ServerSelection:
+    """Per-network video-server pools with an ordering policy."""
+
+    def __init__(self, policy: str = "static") -> None:
+        if policy not in POLICIES:
+            raise ConfigError(f"unknown selection policy {policy!r}; expected {POLICIES}")
+        self.policy = policy
+        self._pools: dict[str, list[Host]] = {}
+        self._rotation: dict[str, int] = {}
+
+    def add_pool(self, network_id: str, hosts: list[Host]) -> None:
+        if not hosts:
+            raise ConfigError(f"empty pool for network {network_id!r}")
+        self._pools[network_id] = list(hosts)
+        self._rotation[network_id] = 0
+
+    def pools(self) -> dict[str, list[Host]]:
+        return {k: list(v) for k, v in self._pools.items()}
+
+    def networks(self) -> list[str]:
+        return list(self._pools)
+
+    def select(self, network_id: str) -> list[str]:
+        """Ordered candidate addresses for a client in ``network_id``.
+
+        Raises :class:`~repro.errors.ServerUnavailableError` when the
+        network has no pool or every host in it is down.
+        """
+        pool = self._pools.get(network_id)
+        if pool is None:
+            raise ServerUnavailableError(f"no video servers serve network {network_id!r}")
+        alive = [host for host in pool if host.up]
+        if not alive:
+            raise ServerUnavailableError(f"all video servers down in {network_id!r}")
+        if self.policy == "static":
+            ordered = alive
+        elif self.policy == "rotate":
+            start = self._rotation[network_id] % len(alive)
+            self._rotation[network_id] += 1
+            ordered = alive[start:] + alive[:start]
+        else:  # least_loaded
+            ordered = sorted(alive, key=lambda host: host.bytes_served)
+        return [host.address for host in ordered]

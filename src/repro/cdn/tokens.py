@@ -1,0 +1,117 @@
+"""Access tokens for video playback.
+
+Per §4: after OAuth verification the web proxy "generates an access
+token (valid for an hour) that matches the video server's IP address as
+well as the operations requested", and the player splices that token
+into the video URL.  We mint HMAC-signed tokens carrying exactly those
+claims — video id, client public address, authorized operations, the
+server pool it is valid for, and an expiry one hour out in *simulated*
+time — and the video servers verify them statelessly with the shared
+key.  Expired or tampered tokens earn a 403, which exercises MSPlayer's
+re-bootstrap path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from ..errors import TokenError
+
+#: Paper-stated validity window: one hour.
+DEFAULT_TTL_S = 3600.0
+
+_FIELD_SEPARATOR = "~"
+
+
+@dataclass(frozen=True)
+class TokenClaims:
+    """What a token asserts."""
+
+    video_id: str
+    client_address: str
+    operations: str  # e.g. "play", comma-joined if several
+    pool: str  # which network's video-server pool may honor it
+    expires_at: float  # simulated-clock seconds
+
+
+class TokenMint:
+    """Issues and verifies HMAC tokens against a simulated clock."""
+
+    def __init__(self, secret: bytes, ttl_s: float = DEFAULT_TTL_S) -> None:
+        if not secret:
+            raise TokenError("mint secret must be non-empty")
+        if ttl_s <= 0:
+            raise TokenError("ttl must be positive")
+        self._secret = secret
+        self.ttl_s = ttl_s
+
+    # -- issuing -----------------------------------------------------------
+
+    def issue(
+        self,
+        now: float,
+        video_id: str,
+        client_address: str,
+        pool: str,
+        operations: str = "play",
+    ) -> str:
+        """Mint a token valid for :attr:`ttl_s` seconds from ``now``."""
+        claims = TokenClaims(video_id, client_address, operations, pool, now + self.ttl_s)
+        return self._encode(claims)
+
+    def _encode(self, claims: TokenClaims) -> str:
+        for field in (claims.video_id, claims.client_address, claims.operations, claims.pool):
+            if _FIELD_SEPARATOR in field:
+                raise TokenError(f"claim field may not contain {_FIELD_SEPARATOR!r}: {field!r}")
+        payload = _FIELD_SEPARATOR.join(
+            [
+                claims.video_id,
+                claims.client_address,
+                claims.operations,
+                claims.pool,
+                f"{claims.expires_at:.3f}",
+            ]
+        )
+        mac = hmac.new(self._secret, payload.encode("utf-8"), hashlib.sha256).hexdigest()[:24]
+        return f"{payload}{_FIELD_SEPARATOR}{mac}"
+
+    # -- verifying -----------------------------------------------------------
+
+    def verify(
+        self,
+        token: str,
+        now: float,
+        video_id: str,
+        pool: str,
+        operation: str = "play",
+    ) -> TokenClaims:
+        """Validate ``token``; returns its claims or raises TokenError."""
+        claims, mac = self._decode(token)
+        expected = self._encode(claims).rsplit(_FIELD_SEPARATOR, 1)[1]
+        if not hmac.compare_digest(mac, expected):
+            raise TokenError("token signature mismatch")
+        if now > claims.expires_at:
+            raise TokenError(f"token expired {now - claims.expires_at:.0f}s ago")
+        if claims.video_id != video_id:
+            raise TokenError("token is for a different video")
+        if claims.pool != pool:
+            raise TokenError(
+                f"token issued for pool {claims.pool!r}, presented to {pool!r}"
+            )
+        if operation not in claims.operations.split(","):
+            raise TokenError(f"operation {operation!r} not authorized")
+        return claims
+
+    @staticmethod
+    def _decode(token: str) -> tuple[TokenClaims, str]:
+        parts = token.split(_FIELD_SEPARATOR)
+        if len(parts) != 6:
+            raise TokenError("malformed token")
+        video_id, client_address, operations, pool, expires, mac = parts
+        try:
+            expires_at = float(expires)
+        except ValueError:
+            raise TokenError("malformed token expiry") from None
+        return TokenClaims(video_id, client_address, operations, pool, expires_at), mac

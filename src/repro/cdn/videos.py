@@ -1,0 +1,140 @@
+"""Video objects: formats, metadata, and byte/time arithmetic.
+
+The paper streams YouTube MP4 at HD 720p with 44,100 Hz audio (§5) and
+explicitly does *not* adapt bitrate (§2): MSPlayer picks one format and
+streams it at constant bitrate.  Formats are modelled after YouTube's
+classic progressive "itag" table so the JSON the web proxy returns looks
+like the real thing and examples can exercise format selection.
+
+Byte/time arithmetic is the bridge between the network world (bytes)
+and the player world (seconds of playout): with constant bitrate the
+map is linear, which is what makes "40 seconds of pre-buffer" a
+well-defined byte goal the schedulers chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..units import bytes_of_video, seconds_of_video
+
+
+@dataclass(frozen=True)
+class VideoFormat:
+    """One encoding profile of a video (a YouTube "itag")."""
+
+    itag: int
+    container: str
+    resolution: str
+    video_bitrate_bps: float
+    audio_bitrate_bps: float = 128_000.0
+
+    def __post_init__(self) -> None:
+        if self.video_bitrate_bps <= 0 or self.audio_bitrate_bps < 0:
+            raise ConfigError(f"invalid bitrates for itag {self.itag}")
+
+    @property
+    def total_bitrate_bytes_per_s(self) -> float:
+        """Muxed stream rate in bytes/s (video + audio)."""
+        return (self.video_bitrate_bps + self.audio_bitrate_bps) / 8.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.container}/{self.resolution}"
+
+
+#: Progressive formats in the spirit of YouTube's 2014 itag table.  The
+#: paper's experiments use itag 22 (MP4 720p, ~2.5 Mb/s video).
+FORMATS: dict[int, VideoFormat] = {
+    fmt.itag: fmt
+    for fmt in (
+        VideoFormat(18, "mp4", "360p", video_bitrate_bps=600_000.0, audio_bitrate_bps=96_000.0),
+        VideoFormat(22, "mp4", "720p", video_bitrate_bps=2_500_000.0, audio_bitrate_bps=192_000.0),
+        VideoFormat(37, "mp4", "1080p", video_bitrate_bps=4_300_000.0, audio_bitrate_bps=192_000.0),
+        VideoFormat(43, "webm", "360p", video_bitrate_bps=500_000.0, audio_bitrate_bps=128_000.0),
+        VideoFormat(45, "webm", "720p", video_bitrate_bps=2_000_000.0, audio_bitrate_bps=192_000.0),
+    )
+}
+
+#: The format the paper evaluates with.
+DEFAULT_ITAG = 22
+
+
+@dataclass(frozen=True)
+class VideoMeta:
+    """Catalog entry: identity plus available formats.
+
+    ``copyrighted`` marks videos whose stream URLs carry an enciphered
+    signature (footnote 1): players must fetch the decoder page first.
+    """
+
+    video_id: str
+    title: str
+    author: str
+    duration_s: float
+    itags: tuple[int, ...] = field(default=(18, 22, 37))
+    copyrighted: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.video_id) != 11:
+            raise ConfigError(
+                f"YouTube video ids are 11 literals, got {self.video_id!r} (§3.1)"
+            )
+        if self.duration_s <= 0:
+            raise ConfigError("duration must be positive")
+        if not self.itags:
+            raise ConfigError("a video needs at least one format")
+        for itag in self.itags:
+            if itag not in FORMATS:
+                raise ConfigError(f"unknown itag {itag}")
+
+    def format(self, itag: int) -> VideoFormat:
+        if itag not in self.itags:
+            raise ConfigError(f"video {self.video_id} has no itag {itag}")
+        return FORMATS[itag]
+
+    @property
+    def watch_url(self) -> str:
+        """The URL shape users click (§3.1)."""
+        return f"http://www.youtube.com/watch?v={self.video_id}"
+
+
+class VideoAsset:
+    """A concrete (video, format) pair: the byte stream being fetched."""
+
+    def __init__(self, meta: VideoMeta, itag: int) -> None:
+        self.meta = meta
+        self.format = meta.format(itag)
+        self.bitrate = self.format.total_bitrate_bytes_per_s
+        self.size_bytes = bytes_of_video(meta.duration_s, self.bitrate)
+
+    @property
+    def video_id(self) -> str:
+        return self.meta.video_id
+
+    @property
+    def itag(self) -> int:
+        return self.format.itag
+
+    @property
+    def duration_s(self) -> float:
+        return self.meta.duration_s
+
+    def bytes_for_playback(self, seconds: float) -> int:
+        """Bytes covering ``seconds`` of playout (clamped to the file)."""
+        if seconds < 0:
+            raise ConfigError("seconds must be non-negative")
+        return min(bytes_of_video(seconds, self.bitrate), self.size_bytes)
+
+    def playback_time(self, num_bytes: int) -> float:
+        """Seconds of playout contained in ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigError("bytes must be non-negative")
+        return seconds_of_video(min(num_bytes, self.size_bytes), self.bitrate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VideoAsset {self.video_id} itag={self.itag} "
+            f"{self.format.label} {self.size_bytes}B>"
+        )

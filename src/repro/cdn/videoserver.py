@@ -1,0 +1,126 @@
+"""The video server application: token-checked HTTP range service.
+
+This is the server MSPlayer's data plane talks to (§3.1): it validates
+the access token and stream signature the web proxy issued, slices the
+requested byte range out of the (virtual) video file, and answers 206.
+Bodies are *virtual* — :class:`~repro.http.messages.Response` carries
+``body_size`` and the fluid link charges the bytes — so simulating an
+HD stream costs no memory.
+
+Behavioural details that matter to the experiments:
+
+* range requests are the unit of scheduling, so correctness of the
+  slicing/clamping logic (RFC 7233) is what keeps the chunk ledger
+  gap-free;
+* expired/forged tokens and wrong-pool tokens earn 403 — MSPlayer
+  re-bootstraps the path through the web proxy when it sees one;
+* a draining/failed server answers 503 before dying completely, which
+  exercises the source-failover path (§2 robustness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import RangeError, TokenError, VideoNotFoundError
+from ..http.messages import Request, Response
+from ..http.ranges import parse_range_header
+from .catalog import Catalog
+from .tokens import TokenMint
+from .videos import VideoAsset
+from .webproxy import stream_signature
+
+
+class VideoServerApp:
+    """Application attached to video hosts via SimHTTPServer."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        mint: TokenMint,
+        clock: Callable[[], float],
+        pool: str,
+        signature_secret: bytes,
+        name: str = "videoserver",
+    ) -> None:
+        self.catalog = catalog
+        self.mint = mint
+        self.clock = clock
+        #: The network pool this server belongs to; tokens are pool-bound.
+        self.pool = pool
+        self.signature_secret = signature_secret
+        self.name = name
+        #: Draining: answer 503 to new requests without dropping connections.
+        self.draining = False
+        self.range_requests = 0
+        self.bytes_requested = 0
+
+    def __call__(self, request: Request, client_network: str) -> Response:
+        if request.method != "GET":
+            return Response.error(405)
+        if request.path != "/videoplayback":
+            return Response.error(404, f"no handler for {request.path}")
+        if self.draining:
+            return Response.error(503, f"{self.name} is draining")
+
+        query = request.query
+        video_id = query.get("v", "")
+        try:
+            itag = int(query.get("itag", ""))
+        except ValueError:
+            return Response.error(400, "missing or malformed itag")
+
+        try:
+            asset = self.catalog.asset(video_id, itag)
+        except VideoNotFoundError:
+            return Response.error(404, f"unknown video {video_id}")
+        except Exception:  # unknown itag for this video
+            return Response.error(400, f"video {video_id} has no itag {itag}")
+
+        failure = self._authorize(query, video_id)
+        if failure is not None:
+            return failure
+        return self._serve_range(request, asset)
+
+    # -- internals -----------------------------------------------------------
+
+    def _authorize(self, query: dict[str, str], video_id: str) -> Response | None:
+        token = query.get("token", "")
+        if not token:
+            return Response.error(401, "missing token")
+        try:
+            self.mint.verify(token, self.clock(), video_id, pool=self.pool)
+        except TokenError as exc:
+            return Response.error(403, f"token rejected: {exc}")
+        expected = stream_signature(video_id, int(query["itag"]), self.signature_secret)
+        if query.get("sig", "") != expected:
+            return Response.error(403, "signature rejected")
+        return None
+
+    def _serve_range(self, request: Request, asset: VideoAsset) -> Response:
+        range_header = request.headers.get("Range")
+        if range_header is None:
+            # Whole-file GET: what commercial players do for the big
+            # pre-buffering chunk (§6).
+            self.range_requests += 1
+            self.bytes_requested += asset.size_bytes
+            return Response(
+                200,
+                {
+                    "Content-Type": f"video/{asset.format.container}",
+                    "Accept-Ranges": "bytes",
+                },
+                body_size=asset.size_bytes,
+            )
+        try:
+            byte_range = parse_range_header(range_header, asset.size_bytes)
+            byte_range = byte_range.clamp(asset.size_bytes)
+        except RangeError as exc:
+            return Response.error(416, str(exc))
+        self.range_requests += 1
+        self.bytes_requested += byte_range.length
+        return Response.partial_content(
+            byte_range,
+            asset.size_bytes,
+            content_type=f"video/{asset.format.container}",
+        )

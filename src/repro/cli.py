@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``play`` — run one MSPlayer session on a simulated profile and print
+  its QoE metrics;
+* ``experiment`` — regenerate a paper figure/table by id (fig1…fig5,
+  table1, x1…x3) and print the panel;
+* ``adaptive`` — run the DASH-extension player with a chosen controller;
+* ``list`` — show available experiments and profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .analysis import experiments as exp
+from .core.config import PlayerConfig
+from .ext.adaptive import (
+    AdaptiveSimDriver,
+    BufferBasedController,
+    FixedBitrateController,
+    ThroughputController,
+)
+from .sim.driver import MSPlayerDriver
+from .sim.profiles import PROFILES
+from .sim.scenario import Scenario, ScenarioConfig
+from .units import parse_size
+
+#: experiment id -> (callable, accepts_trials)
+EXPERIMENTS: dict[str, tuple[Callable, bool]] = {
+    "fig1": (exp.fig1_bootstrap_timing, False),
+    "fig2": (exp.fig2_prebuffer_testbed, True),
+    "fig3": (exp.fig3_scheduler_sweep, True),
+    "fig4": (exp.fig4_prebuffer_youtube, True),
+    "fig5": (exp.fig5_rebuffer, True),
+    "table1": (exp.table1_traffic_fraction, True),
+    "x1": (exp.x1_robustness, True),
+    "x2": (exp.x2_source_diversity, True),
+    "x3": (exp.x3_estimators, False),
+}
+
+CONTROLLERS = {
+    "fixed": lambda itag: FixedBitrateController(itag),
+    "buffer": lambda itag: BufferBasedController(),
+    "throughput": lambda itag: ThroughputController(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MSPlayer reproduction (CoNEXT 2014) — simulate, measure, reproduce.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    play = sub.add_parser("play", help="run one MSPlayer session")
+    play.add_argument("--profile", choices=sorted(PROFILES), default="testbed")
+    play.add_argument("--seed", type=int, default=1)
+    play.add_argument(
+        "--scheduler", choices=("harmonic", "ewma", "ratio", "last", "window"),
+        default="harmonic",
+    )
+    play.add_argument("--chunk", default="256KB", help="initial chunk size (e.g. 64KB, 1MB)")
+    play.add_argument("--prebuffer", type=float, default=40.0, help="seconds")
+    play.add_argument("--duration", type=float, default=180.0, help="video length, seconds")
+    play.add_argument(
+        "--stop", choices=("prebuffer", "cycles", "full"), default="prebuffer"
+    )
+    play.add_argument("--paths", type=int, choices=(1, 2), default=2)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--trials", type=int, default=10)
+
+    adaptive = sub.add_parser("adaptive", help="run the DASH-extension player (§7)")
+    adaptive.add_argument("--controller", choices=sorted(CONTROLLERS), default="throughput")
+    adaptive.add_argument("--profile", choices=sorted(PROFILES), default="youtube")
+    adaptive.add_argument("--seed", type=int, default=1)
+    adaptive.add_argument("--duration", type=float, default=120.0)
+    adaptive.add_argument("--itag", type=int, default=22, help="fixed controller's itag")
+
+    sub.add_parser("list", help="list experiments and profiles")
+    return parser
+
+
+def _command_play(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        PROFILES[args.profile](),
+        seed=args.seed,
+        config=ScenarioConfig(video_duration_s=args.duration),
+    )
+    low = min(10.0, args.prebuffer / 4.0)
+    config = PlayerConfig(
+        scheduler=args.scheduler,
+        base_chunk_bytes=parse_size(args.chunk),
+        prebuffer_s=args.prebuffer,
+        low_watermark_s=low,
+        max_paths=args.paths,
+    )
+    outcome = MSPlayerDriver(scenario, config, stop=args.stop).run()
+    print(f"profile={args.profile} seed={args.seed} scheduler={args.scheduler}")
+    print(f"stop reason      : {outcome.stop_reason}")
+    if outcome.startup_delay is not None:
+        print(f"start-up delay   : {outcome.startup_delay:.2f} s")
+    for key, value in outcome.metrics.summary().items():
+        print(f"{key:24s}: {value}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    function, takes_trials = EXPERIMENTS[args.id]
+    result = function(trials=args.trials) if takes_trials else function()
+    print(result.rendered)
+    return 0
+
+
+def _command_adaptive(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        PROFILES[args.profile](),
+        seed=args.seed,
+        config=ScenarioConfig(video_duration_s=args.duration),
+    )
+    controller = CONTROLLERS[args.controller](args.itag)
+    config = PlayerConfig(prebuffer_s=12.0, low_watermark_s=6.0, rebuffer_fetch_s=8.0)
+    outcome = AdaptiveSimDriver(scenario, controller, config, stop="full").run()
+    print(f"controller       : {args.controller}")
+    print(f"outcome          : {outcome.stop_reason}")
+    print(f"mean bitrate     : {outcome.mean_bitrate_bps / 1e6:.2f} Mb/s")
+    print(f"bitrate switches : {outcome.switches}")
+    print(f"stall time       : {outcome.metrics.total_stall_time:.2f} s")
+    print(f"itag history     : {outcome.itag_history}")
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for key in sorted(EXPERIMENTS):
+        print(f"  {key}")
+    print("profiles:")
+    for key in sorted(PROFILES):
+        print(f"  {key}")
+    return 0
+
+
+_HANDLERS = {
+    "play": _command_play,
+    "experiment": _command_experiment,
+    "adaptive": _command_adaptive,
+    "list": _command_list,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""MSPlayer core: the paper's contribution, written sans-IO.
+
+Everything in this package is a pure state machine or calculation —
+no sockets, no simulated clocks — so the same player logic drives both
+the discrete-event backend (:mod:`repro.sim`) and the real asyncio
+backend (:mod:`repro.live`), and every decision rule is unit-testable
+in isolation:
+
+* :mod:`repro.core.estimators` — bandwidth estimators: EWMA (Eq. 1) and
+  the incremental harmonic mean (Eq. 2);
+* :mod:`repro.core.dcsa` — Algorithm 1, dynamic chunk size adjustment;
+* :mod:`repro.core.schedulers` — the Ratio baseline and the
+  EWMA/Harmonic DCSA schedulers (§3.3);
+* :mod:`repro.core.buffer` — just-in-time playout buffer: pre-buffering
+  then ON/OFF re-buffering (§3.1, §4);
+* :mod:`repro.core.chunks` — the byte-range ledger: chunk assignment,
+  reassembly, out-of-order accounting, failure requeueing;
+* :mod:`repro.core.sources` — per-network video-server candidate lists
+  and failover (§2 "Content Source Diversity");
+* :mod:`repro.core.paths` — per-path lifecycle and bootstrap timing;
+* :mod:`repro.core.session` — the orchestrator tying it together,
+  consuming events and emitting commands;
+* :mod:`repro.core.metrics` — QoE accounting (start-up delay, stalls,
+  per-path traffic fractions — Table 1's numerator).
+"""
+
+from .config import PlayerConfig
+from .estimators import (
+    BandwidthEstimator,
+    EWMAEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+    SlidingWindowEstimator,
+    make_estimator,
+)
+from .dcsa import dynamic_chunk_size_adjustment
+from .schedulers import ChunkScheduler, DCSAScheduler, RatioScheduler, make_scheduler
+from .buffer import BufferPhase, PlayoutBuffer
+from .chunks import ChunkLedger
+from .sources import SourceManager
+from .paths import PathPhase, PathState
+from .metrics import QoEMetrics, StallEvent
+from .session import (
+    Command,
+    FetchChunk,
+    PlayerSession,
+    SessionEventResult,
+    StartBootstrap,
+    StartPlayback,
+    SessionDone,
+)
+
+__all__ = [
+    "PlayerConfig",
+    "BandwidthEstimator",
+    "EWMAEstimator",
+    "HarmonicMeanEstimator",
+    "LastSampleEstimator",
+    "SlidingWindowEstimator",
+    "make_estimator",
+    "dynamic_chunk_size_adjustment",
+    "ChunkScheduler",
+    "RatioScheduler",
+    "DCSAScheduler",
+    "make_scheduler",
+    "PlayoutBuffer",
+    "BufferPhase",
+    "ChunkLedger",
+    "SourceManager",
+    "PathState",
+    "PathPhase",
+    "QoEMetrics",
+    "StallEvent",
+    "PlayerSession",
+    "Command",
+    "FetchChunk",
+    "StartBootstrap",
+    "StartPlayback",
+    "SessionDone",
+    "SessionEventResult",
+]

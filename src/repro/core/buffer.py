@@ -1,0 +1,165 @@
+"""Just-in-time playout buffer: pre-buffering then ON/OFF re-buffering.
+
+The streaming strategy of §4, verbatim:
+
+    "MSPlayer leaves the pre-buffering phase when more than 40-second
+    video data is received.  It then consumes the video data until the
+    playout buffer contains less than 10-second video.  MSPlayer
+    resumes requesting chunks from both YouTube servers and refills the
+    playout buffer until 20 seconds of video data are retrieved."
+
+So there are two regimes:
+
+* **PREBUFFERING** — fetch ON, playback not started; ends (and playback
+  starts) once the buffer holds ``prebuffer_s`` of video;
+* **steady state** — playback consumes the buffer; fetch toggles ON
+  when the level drops below ``low_watermark_s`` and OFF again once
+  ``rebuffer_fetch_s`` seconds' worth of data has been *retrieved in
+  this ON cycle* (amount-based, matching the paper's wording and the
+  re-buffering sizes swept in Fig. 5);
+* **STALLED** — the buffer ran dry mid-playback (level 0): playback
+  pauses, fetch is forced ON, and play resumes when the current ON
+  cycle completes.  The paper's evaluation never stalls on its links,
+  but a library must define the behaviour.
+
+The buffer accounts *seconds of video*; the session converts bytes via
+the asset's constant bitrate.  All methods take ``now`` explicitly —
+sans-IO, no clock dependency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import BufferError_, ConfigError
+from .config import PlayerConfig
+
+
+class BufferPhase(enum.Enum):
+    PREBUFFERING = "prebuffering"
+    STEADY = "steady"  # playing, fetch OFF
+    REBUFFERING = "rebuffering"  # playing, fetch ON
+    STALLED = "stalled"  # playback paused, fetch ON
+    FINISHED = "finished"  # all video fetched; draining or done
+
+
+class PlayoutBuffer:
+    """Buffer state machine; emits fetch-ON/OFF decisions."""
+
+    def __init__(self, config: PlayerConfig, video_duration_s: float) -> None:
+        if video_duration_s <= 0:
+            raise ConfigError("video duration must be positive")
+        self.config = config
+        self.video_duration_s = video_duration_s
+        #: Seconds of contiguous video buffered ahead of the playhead.
+        self.level_s = 0.0
+        #: Playback position in seconds.
+        self.playhead_s = 0.0
+        self.phase = BufferPhase.PREBUFFERING
+        #: Seconds of video retrieved during the current ON cycle.
+        self.cycle_fetched_s = 0.0
+        #: Set once every byte of the video has been received.
+        self.download_complete = False
+        #: Timestamps of phase entries, for metrics.
+        self.phase_entered_at: float = 0.0
+        # History of (time, phase) transitions.
+        self.transitions: list[tuple[float, BufferPhase]] = []
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def fetch_on(self) -> bool:
+        """Should paths be requesting chunks right now?"""
+        if self.download_complete:
+            return False
+        return self.phase in (
+            BufferPhase.PREBUFFERING,
+            BufferPhase.REBUFFERING,
+            BufferPhase.STALLED,
+        )
+
+    @property
+    def playing(self) -> bool:
+        return self.phase in (BufferPhase.STEADY, BufferPhase.REBUFFERING) or (
+            self.phase == BufferPhase.FINISHED and self.playhead_s < self.video_duration_s
+        )
+
+    @property
+    def playback_finished(self) -> bool:
+        return self.playhead_s >= self.video_duration_s - 1e-9
+
+    # -- events -------------------------------------------------------------------
+
+    def on_data(self, seconds_received: float, now: float) -> None:
+        """Contiguous video extended by ``seconds_received`` seconds."""
+        if seconds_received < 0:
+            raise BufferError_(f"negative data increment {seconds_received}")
+        self.level_s += seconds_received
+        if self.fetch_on:
+            self.cycle_fetched_s += seconds_received
+        self._maybe_transition(now)
+
+    def mark_download_complete(self, now: float) -> None:
+        self.download_complete = True
+        if self.phase is not BufferPhase.FINISHED:
+            self._enter(BufferPhase.FINISHED, now)
+
+    def on_tick(self, dt: float, now: float) -> float:
+        """Advance playback by up to ``dt`` seconds; returns seconds played."""
+        if dt < 0:
+            raise BufferError_(f"negative tick {dt}")
+        if not self.playing or dt == 0.0:
+            return 0.0
+        played = min(dt, self.level_s, self.video_duration_s - self.playhead_s)
+        self.playhead_s += played
+        self.level_s -= played
+        self._maybe_transition(now)
+        return played
+
+    # -- state machine ----------------------------------------------------------------
+
+    def _maybe_transition(self, now: float) -> None:
+        # A single event can warrant a cascade (e.g. one long tick takes
+        # STEADY below the watermark *and* dry: STEADY → REBUFFERING →
+        # STALLED), so re-evaluate until the phase stabilizes.
+        while True:
+            before = self.phase
+            self._transition_step(now)
+            if self.phase is before:
+                return
+
+    def _transition_step(self, now: float) -> None:
+        if self.phase == BufferPhase.PREBUFFERING:
+            if self.level_s >= self.config.prebuffer_s or self.download_complete:
+                self._enter(BufferPhase.STEADY, now)
+        elif self.phase == BufferPhase.STEADY:
+            if self.download_complete:
+                self._enter(BufferPhase.FINISHED, now)
+            elif self.level_s < self.config.low_watermark_s:
+                self.cycle_fetched_s = 0.0
+                self._enter(BufferPhase.REBUFFERING, now)
+        elif self.phase == BufferPhase.REBUFFERING:
+            if self.download_complete:
+                self._enter(BufferPhase.FINISHED, now)
+            elif self.level_s <= 1e-9:
+                self._enter(BufferPhase.STALLED, now)
+            elif self.cycle_fetched_s >= self.config.rebuffer_fetch_s:
+                self._enter(BufferPhase.STEADY, now)
+        elif self.phase == BufferPhase.STALLED:
+            if self.download_complete:
+                self._enter(BufferPhase.FINISHED, now)
+            elif self.cycle_fetched_s >= self.config.rebuffer_fetch_s:
+                self._enter(BufferPhase.STEADY, now)
+
+    def _enter(self, phase: BufferPhase, now: float) -> None:
+        if phase is self.phase:
+            return
+        self.phase = phase
+        self.phase_entered_at = now
+        self.transitions.append((now, phase))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PlayoutBuffer {self.phase.value} level={self.level_s:.1f}s "
+            f"playhead={self.playhead_s:.1f}s>"
+        )

@@ -1,0 +1,208 @@
+"""The chunk ledger: byte-range assignment, reassembly, failure requeue.
+
+One authority tracks which bytes of the video are where:
+
+* ``contiguous_frontier`` — everything below this offset has been
+  received and is playable;
+* in-flight assignments — at most one per path (requests on one
+  connection are sequential);
+* completed-but-out-of-order ranges — chunks that finished while an
+  earlier range is still in flight on the other path.  The paper's
+  scheduler aims to keep this at ≤ 1 chunk (§2); the ledger *measures*
+  it (peak count) so experiments can verify the design goal rather
+  than assume it;
+* a requeue list — when a path dies mid-chunk, the undelivered suffix
+  of its range goes back to the head of the queue and is handed out
+  before any new frontier extension, so failover never leaves holes.
+
+The ledger is pure bookkeeping (no clocks, no IO) and maintains the
+invariants the property tests check: assignments never overlap, the
+frontier only advances, and ``frontier == total`` ⇔ every byte was
+delivered exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlayerError
+from ..http.ranges import ByteRange
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A chunk handed to a path for fetching."""
+
+    path_id: int
+    byte_range: ByteRange
+
+
+class ChunkLedger:
+    """Byte-range bookkeeping for one video download."""
+
+    def __init__(self, total_bytes: int) -> None:
+        if total_bytes <= 0:
+            raise PlayerError(f"total_bytes must be positive, got {total_bytes}")
+        self.total_bytes = total_bytes
+        #: Bytes below this offset are received and contiguous.
+        self.contiguous_frontier = 0
+        #: Next never-assigned byte.
+        self._assign_frontier = 0
+        #: path_id -> in-flight assignment.
+        self._in_flight: dict[int, Assignment] = {}
+        #: Completed ranges waiting for earlier bytes (sorted by start).
+        self._out_of_order: list[ByteRange] = []
+        #: Ranges that must be re-fetched (path died mid-chunk).
+        self._requeue: list[ByteRange] = []
+        #: Peak number of stored out-of-order chunks (design goal: ≤ 1).
+        self.peak_out_of_order = 0
+        #: Per-path delivered byte counts (Table 1's numerator).
+        self.bytes_by_path: dict[int, int] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return self.contiguous_frontier >= self.total_bytes
+
+    @property
+    def fully_assigned(self) -> bool:
+        """No more work to hand out (everything assigned or received)."""
+        return self._assign_frontier >= self.total_bytes and not self._requeue
+
+    @property
+    def out_of_order_count(self) -> int:
+        return len(self._out_of_order)
+
+    def in_flight_for(self, path_id: int) -> Assignment | None:
+        return self._in_flight.get(path_id)
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes not yet received (in flight or unassigned)."""
+        received = self.contiguous_frontier + sum(r.length for r in self._out_of_order)
+        return self.total_bytes - received
+
+    # -- assignment ---------------------------------------------------------------
+
+    def assign(self, path_id: int, size: int) -> Assignment | None:
+        """Hand ``path_id`` its next chunk of up to ``size`` bytes.
+
+        Requeued ranges (from failed paths) are served first — resuming
+        at the break point is the §2 robustness behaviour.  Returns
+        ``None`` when no work remains.  A path may hold only one
+        assignment at a time.
+        """
+        if size <= 0:
+            raise PlayerError(f"chunk size must be positive, got {size}")
+        if path_id in self._in_flight:
+            raise PlayerError(f"path {path_id} already has an in-flight chunk")
+        byte_range = self._next_range(size)
+        if byte_range is None:
+            return None
+        assignment = Assignment(path_id, byte_range)
+        self._in_flight[path_id] = assignment
+        return assignment
+
+    def peek_next_start(self) -> int | None:
+        """Where the next assignment would begin (requeue first), or
+        ``None`` if no work remains — used by the session to enforce
+        the out-of-order bound without consuming the assignment."""
+        if self._requeue:
+            return self._requeue[0].start
+        if self._assign_frontier >= self.total_bytes:
+            return None
+        return self._assign_frontier
+
+    def _next_range(self, size: int) -> ByteRange | None:
+        if self._requeue:
+            pending = self._requeue.pop(0)
+            if pending.length > size:
+                head, tail = pending.split_at(pending.start + size)
+                self._requeue.insert(0, tail)
+                return head
+            return pending
+        if self._assign_frontier >= self.total_bytes:
+            return None
+        stop = min(self._assign_frontier + size, self.total_bytes)
+        byte_range = ByteRange(self._assign_frontier, stop)
+        self._assign_frontier = stop
+        return byte_range
+
+    # -- completion -----------------------------------------------------------------
+
+    def complete_assignment(self, path_id: int) -> ByteRange:
+        """The path's in-flight chunk arrived in full."""
+        assignment = self._pop_in_flight(path_id)
+        byte_range = assignment.byte_range
+        self.bytes_by_path[path_id] = (
+            self.bytes_by_path.get(path_id, 0) + byte_range.length
+        )
+        self._integrate(byte_range)
+        return byte_range
+
+    def _integrate(self, byte_range: ByteRange) -> None:
+        if byte_range.start > self.contiguous_frontier:
+            self._out_of_order.append(byte_range)
+            self._out_of_order.sort(key=lambda r: r.start)
+            self.peak_out_of_order = max(self.peak_out_of_order, len(self._out_of_order))
+            return
+        if byte_range.start < self.contiguous_frontier:
+            raise PlayerError(
+                f"duplicate delivery: {byte_range} overlaps frontier "
+                f"{self.contiguous_frontier}"
+            )
+        self.contiguous_frontier = byte_range.stop
+        # Absorb any out-of-order ranges that are now contiguous.
+        while self._out_of_order and self._out_of_order[0].start == self.contiguous_frontier:
+            absorbed = self._out_of_order.pop(0)
+            self.contiguous_frontier = absorbed.stop
+
+    # -- failure -----------------------------------------------------------------------
+
+    def fail_assignment(self, path_id: int, bytes_delivered: int = 0) -> ByteRange | None:
+        """The path died mid-chunk; requeue the undelivered remainder.
+
+        ``bytes_delivered`` is a prefix that *did* arrive and can be
+        kept (HTTP range bodies arrive in order).  Returns the requeued
+        remainder, or ``None`` if the chunk had fully arrived anyway.
+        """
+        assignment = self._pop_in_flight(path_id)
+        byte_range = assignment.byte_range
+        if bytes_delivered < 0 or bytes_delivered > byte_range.length:
+            raise PlayerError(
+                f"bytes_delivered {bytes_delivered} outside chunk of {byte_range.length}"
+            )
+        if bytes_delivered:
+            delivered = ByteRange(byte_range.start, byte_range.start + bytes_delivered)
+            self.bytes_by_path[path_id] = (
+                self.bytes_by_path.get(path_id, 0) + delivered.length
+            )
+            self._integrate(delivered)
+        if bytes_delivered == byte_range.length:
+            return None
+        remainder = ByteRange(byte_range.start + bytes_delivered, byte_range.stop)
+        self._requeue.insert(0, remainder)
+        self._requeue.sort(key=lambda r: r.start)
+        return remainder
+
+    def _pop_in_flight(self, path_id: int) -> Assignment:
+        try:
+            return self._in_flight.pop(path_id)
+        except KeyError:
+            raise PlayerError(f"path {path_id} has no in-flight chunk") from None
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def traffic_fraction(self, path_id: int) -> float:
+        """Fraction of delivered bytes carried by ``path_id`` (Table 1)."""
+        total = sum(self.bytes_by_path.values())
+        if total == 0:
+            return 0.0
+        return self.bytes_by_path.get(path_id, 0) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ChunkLedger {self.contiguous_frontier}/{self.total_bytes}B "
+            f"inflight={sorted(self._in_flight)} ooo={len(self._out_of_order)}>"
+        )

@@ -1,0 +1,95 @@
+"""Algorithm 1: Dynamic Chunk Size Adjustment (DCSA), verbatim.
+
+The paper's pseudocode, for path ``i`` with the other path ``1−i``::
+
+    procedure DCSA(i, ŵ0, ŵ1, wi, δ, B)
+        if ŵi not available:        Si ← B            (initial chunk size)
+        else if ŵi < ŵ1−i:                            (slow path)
+            if wi > (1+δ)·ŵi:       Si ← 2·Si
+            else if wi < (1−δ)·ŵi:  Si ← max{⌈Si/2⌉, 16KB}
+            else:                   Si unchanged
+        else:                                          (fast path)
+            γ = ⌈ŵi / ŵ1−i⌉
+            Si ← γ · S1−i
+        return Si
+
+Intuition: the *slow* path carries the base-sized chunk and doubles or
+halves it as its own bandwidth trends up or down beyond the δ band;
+the *fast* path is sized as an integer multiple γ of the slow path's
+chunk so both transfers complete at roughly the same time — the
+equal-finish-time goal that bounds out-of-order buffering to one chunk
+(§2 "Chunk Scheduler").
+
+This function is pure so it can be property-tested exhaustively; the
+scheduler object in :mod:`repro.core.schedulers` wires it to live
+estimator state.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SchedulerError
+from ..units import KB
+
+#: Algorithm 1's hard floor on chunk size.
+MIN_CHUNK_BYTES = 16 * KB
+
+
+def dynamic_chunk_size_adjustment(
+    current_size: int,
+    other_size: int,
+    estimate_self: float | None,
+    estimate_other: float | None,
+    measured_self: float,
+    delta: float,
+    base_chunk: int,
+    min_chunk: int = MIN_CHUNK_BYTES,
+    max_chunk: int | None = None,
+) -> int:
+    """One DCSA step for a path; returns its next chunk size in bytes.
+
+    Parameters map 1:1 onto the pseudocode: ``estimate_self``/``_other``
+    are ŵi and ŵ1−i, ``measured_self`` is wi (the throughput of the
+    chunk that just finished), ``delta`` the variation band δ, and
+    ``base_chunk`` is B.  ``max_chunk`` is a library-added safety clamp
+    (``None`` reproduces the paper exactly).
+
+    >>> dynamic_chunk_size_adjustment(  # slow path speeding up: double
+    ...     64*KB, 256*KB, 1000.0, 4000.0, 1100.0, 0.05, 256*KB) == 128*KB
+    True
+    >>> dynamic_chunk_size_adjustment(  # fast path: gamma multiple
+    ...     256*KB, 64*KB, 4000.0, 1000.0, 4100.0, 0.05, 256*KB) == 4*64*KB
+    True
+    """
+    if not 0.0 < delta < 1.0:
+        raise SchedulerError(f"delta must be in (0, 1), got {delta}")
+    if base_chunk < min_chunk:
+        raise SchedulerError("base chunk below the minimum chunk")
+    if current_size <= 0 or other_size <= 0:
+        raise SchedulerError("chunk sizes must be positive")
+    if measured_self <= 0:
+        raise SchedulerError(f"measured throughput must be positive, got {measured_self}")
+
+    if estimate_self is None:
+        new_size = base_chunk
+    elif estimate_other is not None and estimate_self < estimate_other:
+        # Slow path: double / halve / hold against the δ band.
+        if measured_self > (1.0 + delta) * estimate_self:
+            new_size = 2 * current_size
+        elif measured_self < (1.0 - delta) * estimate_self:
+            new_size = max(math.ceil(current_size / 2), min_chunk)
+        else:
+            new_size = current_size
+    else:
+        # Fast path (or the other estimate is missing: treat self as
+        # fast, pacing off the other path's current chunk).
+        if estimate_other is None or estimate_other <= 0:
+            gamma = 1
+        else:
+            gamma = math.ceil(estimate_self / estimate_other)
+        new_size = max(gamma, 1) * other_size
+
+    if max_chunk is not None:
+        new_size = min(new_size, max_chunk)
+    return max(int(new_size), min_chunk)

@@ -1,0 +1,139 @@
+"""Per-path lifecycle state.
+
+Each MSPlayer path is an (interface, network, server) triple whose life
+runs: bootstrap through the web proxy (DNS → HTTPS → JSON → maybe the
+signature decoder) → ready → fetching chunks → possibly broken (path or
+server failure) → failed over or dead.  :class:`PathState` is the
+sans-IO record of that lifecycle; drivers own the actual sockets or
+simulated connections.
+
+Bootstrap timestamps are kept so experiments can reproduce the Fig. 1
+analysis: ``t_bootstrap_started``, ``t_json_complete`` (ψ), and
+``t_first_video_byte`` (π) per path, plus the derived head start
+``π₂ − π₁`` the fast path enjoys (§3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import PlayerError
+from .sources import SourceManager
+
+
+class PathPhase(enum.Enum):
+    INIT = "init"
+    BOOTSTRAPPING = "bootstrapping"  # proxy handshake + JSON (+ decoder)
+    READY = "ready"  # video server known, connection warm
+    FETCHING = "fetching"  # a chunk is in flight
+    BROKEN = "broken"  # transient failure; failover in progress
+    DEAD = "dead"  # interface down / sources exhausted
+
+
+#: Phases from which a path can accept a new chunk assignment.
+_ASSIGNABLE = (PathPhase.READY,)
+
+
+@dataclass
+class PathState:
+    """One path's logical state."""
+
+    path_id: int
+    iface_name: str
+    network_id: str
+    sources: SourceManager
+
+    phase: PathPhase = PathPhase.INIT
+    #: Bootstrap milestones (simulated/real seconds).
+    t_bootstrap_started: float | None = None
+    t_json_complete: float | None = None
+    t_first_video_byte: float | None = None
+    #: Number of completed chunks, for scheduler warm-up logic.
+    chunks_completed: int = 0
+    #: Consecutive failures on the current server (resets on success).
+    consecutive_failures: int = 0
+    #: Phase transition history for debugging and tests.
+    history: list[tuple[float, PathPhase]] = field(default_factory=list)
+
+    # -- transitions ------------------------------------------------------------
+
+    def begin_bootstrap(self, now: float) -> None:
+        self._require(PathPhase.INIT, PathPhase.BROKEN)
+        self.t_bootstrap_started = self.t_bootstrap_started or now
+        self._enter(PathPhase.BOOTSTRAPPING, now)
+
+    def bootstrap_complete(self, now: float, json_completed_at: float | None = None) -> None:
+        """``json_completed_at`` back-dates ψ to the JSON decode instant
+        (the path becomes READY only after the video-server handshake,
+        which is part of π, not ψ)."""
+        self._require(PathPhase.BOOTSTRAPPING)
+        if self.t_json_complete is None:
+            self.t_json_complete = json_completed_at if json_completed_at is not None else now
+        self._enter(PathPhase.READY, now)
+
+    def chunk_started(self, now: float) -> None:
+        self._require(PathPhase.READY)
+        self._enter(PathPhase.FETCHING, now)
+
+    def chunk_finished(self, now: float, first_byte_at: float | None = None) -> None:
+        """``first_byte_at`` dates π at the first video *byte* (Fig. 1's
+        milestone), not at the first chunk's completion."""
+        self._require(PathPhase.FETCHING)
+        if self.t_first_video_byte is None:
+            self.t_first_video_byte = first_byte_at if first_byte_at is not None else now
+        self.chunks_completed += 1
+        self.consecutive_failures = 0
+        self._enter(PathPhase.READY, now)
+
+    def mark_broken(self, now: float) -> None:
+        """Transient failure: the session will try failover."""
+        self.consecutive_failures += 1
+        self._enter(PathPhase.BROKEN, now)
+
+    def mark_dead(self, now: float) -> None:
+        self._enter(PathPhase.DEAD, now)
+
+    def revive(self, now: float) -> None:
+        """Interface came back up: allow a fresh bootstrap."""
+        self._require(PathPhase.DEAD, PathPhase.BROKEN)
+        self._enter(PathPhase.INIT, now)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def can_fetch(self) -> bool:
+        return self.phase in _ASSIGNABLE
+
+    @property
+    def alive(self) -> bool:
+        return self.phase not in (PathPhase.DEAD,)
+
+    @property
+    def active_server(self) -> str:
+        return self.sources.active
+
+    def bootstrap_duration(self) -> float | None:
+        """Paper's ψ measured: bootstrap start → JSON complete."""
+        if self.t_bootstrap_started is None or self.t_json_complete is None:
+            return None
+        return self.t_json_complete - self.t_bootstrap_started
+
+    def first_packet_delay(self) -> float | None:
+        """Paper's π measured: bootstrap start → first video byte."""
+        if self.t_bootstrap_started is None or self.t_first_video_byte is None:
+            return None
+        return self.t_first_video_byte - self.t_bootstrap_started
+
+    # -- internals ----------------------------------------------------------------
+
+    def _enter(self, phase: PathPhase, now: float) -> None:
+        self.phase = phase
+        self.history.append((now, phase))
+
+    def _require(self, *phases: PathPhase) -> None:
+        if self.phase not in phases:
+            raise PlayerError(
+                f"path {self.path_id}: invalid transition from {self.phase.value} "
+                f"(expected one of {[p.value for p in phases]})"
+            )

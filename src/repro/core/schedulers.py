@@ -1,0 +1,205 @@
+"""Chunk schedulers: Ratio (baseline), EWMA, and Harmonic (§3.3).
+
+A scheduler owns, per path, the current chunk size ``S_i`` and a
+bandwidth estimator ``ŵ_i``, and answers one question the session asks
+whenever a path is ready for work: *how many bytes should this path
+fetch next?*  Measurements flow in through :meth:`record` as
+``(path, bytes, duration)`` — the ``w_i = S_i/T_i`` of the paper.
+
+* :class:`RatioScheduler` — the baseline: the slower path always
+  fetches the base chunk B; the faster path fetches
+  ``w_fast/w_slow · B``, using raw last-sample throughputs.  No
+  estimator smoothing, which is why Fig. 3 shows it lagging bandwidth
+  changes and varying wildly.
+* :class:`DCSAScheduler` — Algorithm 1 driven by a pluggable estimator;
+  with :class:`~repro.core.estimators.EWMAEstimator` it is the paper's
+  "EWMA" scheduler, with
+  :class:`~repro.core.estimators.HarmonicMeanEstimator` the default
+  "Harmonic" scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError, SchedulerError
+from .config import PlayerConfig
+from .dcsa import dynamic_chunk_size_adjustment
+from .estimators import BandwidthEstimator, LastSampleEstimator, make_estimator
+
+
+class ChunkScheduler:
+    """Base class: per-path chunk sizing driven by throughput feedback."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, config: PlayerConfig) -> None:
+        self.config = config
+        self._sizes: dict[int, int] = {}
+        self._estimators: dict[int, BandwidthEstimator] = {}
+        self._last_sample: dict[int, float] = {}
+
+    # -- per-path wiring ---------------------------------------------------
+
+    def register_path(self, path_id: int) -> None:
+        """Declare a path before use (idempotent)."""
+        if path_id not in self._sizes:
+            self._sizes[path_id] = self.config.base_chunk_bytes
+            self._estimators[path_id] = self._make_estimator()
+            self._last_sample.pop(path_id, None)
+
+    def forget_path(self, path_id: int) -> None:
+        """Drop a path's state (it died and won't return on this server)."""
+        self._sizes.pop(path_id, None)
+        self._estimators.pop(path_id, None)
+        self._last_sample.pop(path_id, None)
+
+    def reset_path(self, path_id: int) -> None:
+        """Re-arm a path after failover: fresh estimator, base chunk."""
+        self._require(path_id)
+        self._sizes[path_id] = self.config.base_chunk_bytes
+        self._estimators[path_id].reset()
+        self._last_sample.pop(path_id, None)
+
+    def paths(self) -> list[int]:
+        return list(self._sizes)
+
+    # -- feedback / decisions ------------------------------------------------
+
+    def record(self, path_id: int, num_bytes: int, duration: float) -> float:
+        """Fold a completed chunk's measurement in; returns ``w_i``.
+
+        The adjustment hook runs *before* the estimator update, so the
+        comparison in Algorithm 1 is "current measurement vs previous
+        estimate", which is the only causally sensible reading.
+        """
+        self._require(path_id)
+        if num_bytes <= 0:
+            raise SchedulerError(f"chunk bytes must be positive, got {num_bytes}")
+        if duration <= 0:
+            raise SchedulerError(f"chunk duration must be positive, got {duration}")
+        throughput = num_bytes / duration
+        self._adjust(path_id, throughput)
+        self._estimators[path_id].update(throughput)
+        self._last_sample[path_id] = throughput
+        return throughput
+
+    def chunk_size(self, path_id: int) -> int:
+        """The size the path should request next."""
+        self._require(path_id)
+        return self._sizes[path_id]
+
+    def estimate(self, path_id: int) -> float | None:
+        self._require(path_id)
+        return self._estimators[path_id].estimate
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _make_estimator(self) -> BandwidthEstimator:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _adjust(self, path_id: int, throughput: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _require(self, path_id: int) -> None:
+        if path_id not in self._sizes:
+            raise SchedulerError(f"path {path_id} not registered with the scheduler")
+
+    def _other_path(self, path_id: int) -> int | None:
+        others = [p for p in self._sizes if p != path_id]
+        return others[0] if others else None
+
+
+class RatioScheduler(ChunkScheduler):
+    """Baseline: fixed base chunk on the slow path, ratio-scaled fast path.
+
+    "The baseline Ratio scheduler assigns a fixed chunk size to the path
+    with lower throughput such that ``Si(t+1) = B`` and adjusts the
+    chunk size of the path with higher throughput based on throughput
+    ratio (``S1−i(t+1) = w1−i(t)/wi(t) · B``)." (§3.3)
+    """
+
+    name = "ratio"
+
+    def _make_estimator(self) -> BandwidthEstimator:
+        return LastSampleEstimator()
+
+    def _adjust(self, path_id: int, throughput: float) -> None:
+        other = self._other_path(path_id)
+        if other is None:
+            self._sizes[path_id] = self.config.base_chunk_bytes
+            return
+        other_sample = self._last_sample.get(other)
+        if other_sample is None:
+            # No measurement from the peer yet: stay at base.
+            self._sizes[path_id] = self.config.base_chunk_bytes
+            return
+        if throughput <= other_sample:
+            self._sizes[path_id] = self.config.base_chunk_bytes
+            # Re-scale the faster peer off the fresh slow-path sample.
+            ratio = other_sample / throughput
+            self._sizes[other] = self._clamp(ratio * self.config.base_chunk_bytes)
+        else:
+            ratio = throughput / other_sample
+            self._sizes[path_id] = self._clamp(ratio * self.config.base_chunk_bytes)
+            self._sizes[other] = self.config.base_chunk_bytes
+
+    def _clamp(self, size: float) -> int:
+        return int(
+            min(max(int(size), self.config.min_chunk_bytes), self.config.max_chunk_bytes)
+        )
+
+
+class DCSAScheduler(ChunkScheduler):
+    """Algorithm 1 with a pluggable bandwidth estimator (§3.3).
+
+    ``estimator_name`` picks from the registry in
+    :mod:`repro.core.estimators`; "ewma" and "harmonic" give the paper's
+    two dynamic schedulers, "last"/"window" support ablations.
+    """
+
+    def __init__(self, config: PlayerConfig, estimator_name: str) -> None:
+        self.estimator_name = estimator_name
+        self.name = estimator_name
+        super().__init__(config)
+
+    def _make_estimator(self) -> BandwidthEstimator:
+        return make_estimator(
+            self.estimator_name, alpha=self.config.alpha, window=self.config.window
+        )
+
+    def _adjust(self, path_id: int, throughput: float) -> None:
+        other = self._other_path(path_id)
+        estimate_self = self._estimators[path_id].estimate
+        estimate_other = self._estimators[other].estimate if other is not None else None
+        other_size = self._sizes[other] if other is not None else self._sizes[path_id]
+        self._sizes[path_id] = dynamic_chunk_size_adjustment(
+            current_size=self._sizes[path_id],
+            other_size=other_size,
+            estimate_self=estimate_self,
+            estimate_other=estimate_other,
+            measured_self=throughput,
+            delta=self.config.delta,
+            base_chunk=self.config.base_chunk_bytes,
+            min_chunk=self.config.min_chunk_bytes,
+            max_chunk=self.config.max_chunk_bytes,
+        )
+
+
+def make_scheduler(config: PlayerConfig) -> ChunkScheduler:
+    """Build the scheduler named by ``config.scheduler``.
+
+    >>> make_scheduler(PlayerConfig(scheduler="ratio")).name
+    'ratio'
+    """
+    name = config.scheduler
+    if name == "ratio":
+        return RatioScheduler(config)
+    if name in ("ewma", "harmonic", "last", "window"):
+        return DCSAScheduler(config, name)
+    raise ConfigError(
+        f"unknown scheduler {name!r}; available: ratio, ewma, harmonic, last, window"
+    )

@@ -1,0 +1,124 @@
+"""Interface energy accounting (§7 / Huang et al. [17]).
+
+The paper's future-work list opens with energy: streaming over two
+radios finishes faster but keeps two radios powered.  This module
+quantifies that trade-off from session metrics, using the standard
+three-component radio model from the LTE measurement literature [17]:
+
+* **active power** while the radio is transferring (W);
+* **tail energy**: after each transfer burst the radio lingers in a
+  high-power state for a platform-specific tail time — the dominant
+  LTE cost for chatty request patterns (many small chunks = many
+  tails, another reason large chunks win in Fig. 3/5);
+* **per-byte marginal energy** (J/MB) for the data itself.
+
+Defaults approximate published 2013-era numbers: LTE ≈ 1.2 W active
+with an 11 s tail, WiFi ≈ 0.7 W active with a 0.24 s tail.
+
+The model is deliberately an *estimator over metrics* (bytes, active
+seconds, request counts per path) rather than a simulation component,
+so it applies identically to simulated and live sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import QoEMetrics
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class InterfaceEnergyProfile:
+    """Radio energy constants for one interface technology."""
+
+    name: str
+    active_power_w: float
+    tail_power_w: float
+    tail_time_s: float
+    joules_per_mb: float
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.active_power_w,
+            self.tail_power_w,
+            self.tail_time_s,
+            self.joules_per_mb,
+        ):
+            if value < 0:
+                raise ConfigError(f"negative energy constant in {self.name}")
+
+
+#: WiFi 802.11n-era constants (Huang et al. [17], rounded).
+WIFI_ENERGY = InterfaceEnergyProfile(
+    name="wifi", active_power_w=0.7, tail_power_w=0.25, tail_time_s=0.24, joules_per_mb=0.4
+)
+
+#: LTE category-3 dongle constants: the famous long tail.
+LTE_ENERGY = InterfaceEnergyProfile(
+    name="lte", active_power_w=1.2, tail_power_w=1.0, tail_time_s=11.0, joules_per_mb=1.0
+)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules spent by one session, per path and total."""
+
+    joules_by_path: dict[int, float]
+    breakdown_by_path: dict[int, dict[str, float]]
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.joules_by_path.values())
+
+    def joules_per_megabyte(self, metrics: QoEMetrics) -> float:
+        """Energy efficiency of the session (J per MB of video)."""
+        total_bytes = sum(metrics.prebuffer_bytes_by_path.values()) + sum(
+            metrics.rebuffer_bytes_by_path.values()
+        )
+        if total_bytes == 0:
+            raise ConfigError("session transferred no bytes")
+        return self.total_joules / (total_bytes / (1024 * 1024))
+
+
+class EnergyModel:
+    """Estimate session energy from QoE metrics.
+
+    ``profiles`` maps path id → interface energy profile; the default
+    matches the library convention (path 0 = WiFi, path 1 = LTE).
+
+    Tail accounting: every ON/OFF-style gap after a request burst costs
+    one tail.  From metrics alone we cannot see individual gaps, so the
+    model charges tails per *re-buffering cycle* plus one for the
+    pre-buffering phase per path — a lower bound that matches the
+    player's periodic downloading pattern (§2: one OFF period per
+    cycle), and exact when chunks within a cycle are back-to-back.
+    """
+
+    def __init__(self, profiles: dict[int, InterfaceEnergyProfile] | None = None) -> None:
+        self.profiles = profiles or {0: WIFI_ENERGY, 1: LTE_ENERGY}
+
+    def report(self, metrics: QoEMetrics) -> EnergyReport:
+        joules: dict[int, float] = {}
+        breakdown: dict[int, dict[str, float]] = {}
+        cycles = max(len(metrics.completed_cycle_durations()), 0)
+        for path_id, profile in self.profiles.items():
+            total_bytes = metrics.prebuffer_bytes_by_path.get(
+                path_id, 0
+            ) + metrics.rebuffer_bytes_by_path.get(path_id, 0)
+            if total_bytes == 0 and path_id not in metrics.active_time_by_path:
+                continue
+            active_s = metrics.active_time_by_path.get(path_id, 0.0)
+            active_j = profile.active_power_w * active_s
+            data_j = profile.joules_per_mb * total_bytes / (1024 * 1024)
+            bursts = (1 if total_bytes else 0) + cycles
+            tail_j = profile.tail_power_w * profile.tail_time_s * bursts
+            breakdown[path_id] = {
+                "active": active_j,
+                "data": data_j,
+                "tail": tail_j,
+                "active_seconds": active_s,
+                "bursts": float(bursts),
+            }
+            joules[path_id] = active_j + data_j + tail_j
+        return EnergyReport(joules_by_path=joules, breakdown_by_path=breakdown)

@@ -1,0 +1,143 @@
+"""Simulated HTTP client: persistent secure connections over one interface.
+
+This is the piece of MSPlayer's data plane that §4 describes: per
+interface, open an HTTPS connection to a server, keep it alive, and
+issue range requests on it.  The client charges the full cost sequence
+(3WHS → TLS → per-request RTT → body transfer on the fluid link) and
+returns both the parsed :class:`~repro.http.messages.Response` and the
+:class:`~repro.net.tcp.TransferResult` timing record the schedulers
+feed on.
+
+Connections are cached per server address; losing one (path break,
+server failure) evicts it so the next request redials.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import HTTPStatusError, NetworkError
+from ..net.env import Environment
+from ..net.iface import NetworkInterface
+from ..net.tcp import TCPConnection, TransferResult
+from ..net.topology import Host, Network
+from .messages import Request, Response
+
+
+class ClientSession:
+    """One established secure connection to one server."""
+
+    def __init__(self, connection: TCPConnection, host: Host) -> None:
+        self.connection = connection
+        self.host = host
+        #: Timing of the session establishment, for Fig. 1 style traces.
+        self.connected_at: Optional[float] = None
+        self.secured_at: Optional[float] = None
+
+    @property
+    def usable(self) -> bool:
+        return self.connection.connected and not self.connection.closed and self.host.up
+
+
+class SimHTTPClient:
+    """HTTP client bound to one network interface (one path)."""
+
+    def __init__(self, env: Environment, network: Network, iface: NetworkInterface) -> None:
+        self.env = env
+        self.network = network
+        self.iface = iface
+        self._sessions: dict[str, ClientSession] = {}
+        #: Wall-clock spent inside TLS+TCP handshakes, for overhead reports.
+        self.handshake_time = 0.0
+        #: Whether we hold a resumable TLS session ticket per server.
+        self._tickets: set[str] = set()
+
+    # -- session management -----------------------------------------------------
+
+    def connect(self, address: str):
+        """Process: establish (or reuse) a secure session to ``address``."""
+        session = self._sessions.get(address)
+        if session is not None and session.usable:
+            return session
+        started = self.env.now
+        connection, host = self.network.connect(self.iface, address)
+        session = ClientSession(connection, host)
+        try:
+            yield self.env.process(connection.connect())
+            session.connected_at = self.env.now
+            resumed = address in self._tickets and host.tls.resumption
+            yield self.env.process(connection.secure_handshake(host.tls, resumed=resumed))
+            session.secured_at = self.env.now
+        except NetworkError:
+            connection.close()
+            raise
+        self._tickets.add(address)
+        self.handshake_time += self.env.now - started
+        self._sessions[address] = session
+        return session
+
+    def disconnect(self, address: str) -> None:
+        session = self._sessions.pop(address, None)
+        if session is not None:
+            session.connection.close()
+
+    def disconnect_all(self) -> None:
+        for address in list(self._sessions):
+            self.disconnect(address)
+
+    # -- requests -------------------------------------------------------------
+
+    def request(self, address: str, request: Request):
+        """Process: send ``request``; returns ``(response, timing)``.
+
+        The server application attached to the host computes the
+        response (and its think time); the response's *wire size* —
+        headers plus body — is what rides the fluid link, so protocol
+        overhead is charged faithfully.
+
+        On any network failure the cached session is evicted before the
+        exception propagates, so a retry dials fresh.
+        """
+        session = yield self.env.process(self.connect(address))
+        host = session.host
+        if host.app is None:
+            raise NetworkError(f"host {address} has no application attached")
+        app = host.app
+        app.begin_request()
+        try:
+            response, think_time = app.handle(request, client_network=self.iface.network_id)
+            timing = yield self.env.process(
+                session.connection.exchange(response.wire_size(), server_delay=think_time)
+            )
+        except NetworkError:
+            self.disconnect(address)
+            raise
+        finally:
+            app.end_request()
+        host.bytes_served += response.body_size
+        return response, timing
+
+    def get(self, address: str, request: Request, expect: tuple[int, ...] = (200, 206)):
+        """Process: request + status check; returns ``(response, timing)``."""
+        response, timing = yield self.env.process(self.request(address, request))
+        if response.status not in expect:
+            raise HTTPStatusError(response.status, response.reason)
+        return response, timing
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def open_session_count(self) -> int:
+        return sum(1 for s in self._sessions.values() if s.usable)
+
+
+def body_timing(timing: TransferResult, response: Response) -> TransferResult:
+    """Re-express a wire-level timing as body-bytes timing.
+
+    The schedulers reason about *video bytes* per second; the wire
+    timing includes header bytes.  Throughput measurements use the body
+    size over the same duration.
+    """
+    return TransferResult(
+        timing.requested_at, timing.first_byte_at, timing.completed_at, response.body_size
+    )

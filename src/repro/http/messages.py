@@ -1,0 +1,194 @@
+"""HTTP request/response message model and serialization.
+
+One message class pair serves three consumers:
+
+* the simulated client/server, which never serialize bodies but charge
+  :meth:`wire_size` bytes to the fluid link so header overhead is
+  accounted honestly (a 16 KB chunk response carries a ~2 % header tax
+  that the Fig. 3 small-chunk penalty includes);
+* the live asyncio backend, which serializes messages for real sockets;
+* tests, which round-trip messages through the :mod:`repro.http.h1`
+  parser.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from ..errors import HTTPParseError
+from .headers import Headers
+from .ranges import ByteRange, format_content_range, format_range_header
+from .status import status_reason
+
+SUPPORTED_METHODS = frozenset({"GET", "HEAD", "POST"})
+HTTP_VERSION = "HTTP/1.1"
+
+
+class Request:
+    """An HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        headers: Headers | Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> None:
+        method = method.upper()
+        if method not in SUPPORTED_METHODS:
+            raise HTTPParseError(f"unsupported method {method!r}")
+        if not target.startswith("/"):
+            raise HTTPParseError(f"request target must be origin-form, got {target!r}")
+        self.method = method
+        self.target = target
+        self.headers = headers if isinstance(headers, Headers) else Headers(headers)
+        self.body = body
+        if body and "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(len(body)))
+
+    # -- conveniences ---------------------------------------------------------
+
+    @classmethod
+    def get(cls, target: str, host: str, byte_range: ByteRange | None = None, **extra: str) -> "Request":
+        """Build a GET with the header set MSPlayer sends (§4).
+
+        >>> request = Request.get("/video", "cdn.example", ByteRange(0, 65536))
+        >>> request.headers["Range"]
+        'bytes=0-65535'
+        """
+        headers = Headers(
+            [
+                ("Host", host),
+                ("User-Agent", "MSPlayer/1.0"),
+                ("Accept", "*/*"),
+                ("Connection", "keep-alive"),
+            ]
+        )
+        if byte_range is not None:
+            headers.set("Range", format_range_header(byte_range))
+        for name, value in extra.items():
+            headers.set(name.replace("_", "-"), value)
+        return cls("GET", target, headers)
+
+    @property
+    def path(self) -> str:
+        """Target without the query string."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Parsed query parameters (last value wins, as servers do)."""
+        if "?" not in self.target:
+            return {}
+        result: dict[str, str] = {}
+        for pair in self.target.split("?", 1)[1].split("&"):
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            result[key] = value
+        return result
+
+    # -- wire format -------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        start_line = f"{self.method} {self.target} {HTTP_VERSION}\r\n".encode("latin-1")
+        return start_line + self.headers.encode() + b"\r\n" + self.body
+
+    def wire_size(self) -> int:
+        """Total bytes on the wire (start line + headers + blank + body)."""
+        start_line = len(self.method) + len(self.target) + len(HTTP_VERSION) + 4
+        return start_line + self.headers.wire_size() + 2 + len(self.body)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request {self.method} {self.target}>"
+
+
+class Response:
+    """An HTTP response.
+
+    For the simulator, large video bodies are represented by
+    ``body_size`` alone (``body=b""``) so that gigabytes of synthetic
+    video never materialize in memory; the live backend always carries
+    real bytes.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        headers: Headers | Mapping[str, str] | None = None,
+        body: bytes = b"",
+        body_size: int | None = None,
+    ) -> None:
+        self.status = int(status)
+        self.reason = status_reason(self.status)
+        self.headers = headers if isinstance(headers, Headers) else Headers(headers)
+        self.body = body
+        self.body_size = len(body) if body_size is None else int(body_size)
+        if self.body_size < 0:
+            raise HTTPParseError("body_size must be non-negative")
+        if "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(self.body_size))
+
+    # -- conveniences ----------------------------------------------------------
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200) -> "Response":
+        """A JSON response, as the web proxy returns video info (§3.1)."""
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return cls(status, Headers([("Content-Type", "application/json")]), body)
+
+    @classmethod
+    def partial_content(
+        cls,
+        byte_range: ByteRange,
+        resource_size: int,
+        content_type: str = "video/mp4",
+        body: bytes = b"",
+    ) -> "Response":
+        """A 206 carrying ``byte_range`` of a resource (bodiless in sim)."""
+        headers = Headers(
+            [
+                ("Content-Type", content_type),
+                ("Content-Range", format_content_range(byte_range, resource_size)),
+                ("Accept-Ranges", "bytes"),
+            ]
+        )
+        return cls(206, headers, body=body, body_size=byte_range.length)
+
+    @classmethod
+    def error(cls, status: int, message: str = "") -> "Response":
+        body = (message or status_reason(status)).encode("utf-8")
+        return cls(status, Headers([("Content-Type", "text/plain")]), body)
+
+    def parsed_json(self) -> object:
+        """Decode a JSON body (raises HTTPParseError on garbage)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPParseError(f"invalid JSON body: {exc}") from exc
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    # -- wire format ---------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        if self.body and len(self.body) != self.body_size:
+            raise HTTPParseError(
+                f"body/body_size mismatch: {len(self.body)} vs {self.body_size}"
+            )
+        start_line = f"{HTTP_VERSION} {self.status} {self.reason}\r\n".encode("latin-1")
+        return start_line + self.headers.encode() + b"\r\n" + self.body
+
+    def header_wire_size(self) -> int:
+        """Bytes of status line + headers + blank line (excludes body)."""
+        start_line = len(HTTP_VERSION) + 3 + len(self.reason) + 4
+        return start_line + self.headers.wire_size() + 2
+
+    def wire_size(self) -> int:
+        return self.header_wire_size() + self.body_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Response {self.status} {self.reason} {self.body_size}B>"

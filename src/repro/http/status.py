@@ -1,0 +1,46 @@
+"""HTTP status codes and reason phrases (the subset a video CDN speaks)."""
+
+from __future__ import annotations
+
+#: Reason phrases for every status the emulated YouTube service emits.
+STATUS_REASONS: dict[int, str] = {
+    200: "OK",
+    204: "No Content",
+    206: "Partial Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    416: "Range Not Satisfiable",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Statuses after which MSPlayer's source manager should fail over to
+#: another video server rather than retry the same one (§2 robustness).
+FAILOVER_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+#: Statuses that indicate a stale/invalid token: re-bootstrap the path.
+REAUTH_STATUSES = frozenset({401, 403})
+
+
+def status_reason(code: int) -> str:
+    """Reason phrase for ``code`` (generic fallback for unknown codes).
+
+    >>> status_reason(206)
+    'Partial Content'
+    """
+    return STATUS_REASONS.get(code, "Unknown")
+
+
+def is_success(code: int) -> bool:
+    """2xx check."""
+    return 200 <= code < 300

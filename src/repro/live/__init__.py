@@ -1,0 +1,40 @@
+"""Real-socket backend: MSPlayer over asyncio on loopback.
+
+The paper validated MSPlayer on a physical testbed; the closest
+CI-friendly equivalent is real TCP over loopback with shaped paths
+(netns + tc would be the next step up and needs root).  This package
+provides:
+
+* :mod:`repro.live.shaping` — a token-bucket rate limiter plus added
+  latency, applied to each server connection to emulate a WiFi-like
+  and an LTE-like path on two ports;
+* :mod:`repro.live.server` — an asyncio HTTP/1.1 server speaking the
+  same ``/videoinfo`` + ``/videoplayback`` protocol as the simulated
+  CDN, reusing the *same* application objects
+  (:class:`~repro.cdn.webproxy.WebProxyApp`,
+  :class:`~repro.cdn.videoserver.VideoServerApp`) — the wire is real,
+  the logic is shared;
+* :mod:`repro.live.client` — an asyncio driver for the *same sans-IO*
+  :class:`~repro.core.session.PlayerSession` the simulator drives,
+  parsing responses with the shared :class:`~repro.http.h1.H1Parser`;
+* :mod:`repro.live.harness` — one-call setup of two shaped "networks"
+  on loopback, used by the integration tests and the
+  ``examples/live_loopback.py`` demo.
+
+Everything binds to 127.0.0.1 only; no external traffic.
+"""
+
+from .shaping import TokenBucket, PathShape
+from .server import LiveHTTPServer
+from .client import LivePlayerDriver, LiveOutcome
+from .harness import LiveTestbed, run_live_session
+
+__all__ = [
+    "TokenBucket",
+    "PathShape",
+    "LiveHTTPServer",
+    "LivePlayerDriver",
+    "LiveOutcome",
+    "LiveTestbed",
+    "run_live_session",
+]

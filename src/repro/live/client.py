@@ -1,0 +1,304 @@
+"""Asyncio driver for PlayerSession over real loopback sockets.
+
+The exact same sans-IO :class:`~repro.core.session.PlayerSession` the
+discrete-event simulator drives, here fed by real TCP: same commands,
+same schedulers, same buffer state machine.  Integration tests run the
+two backends side by side, which is the strongest check that the core
+logic has no hidden dependency on simulated time.
+
+The driver keeps one persistent connection per (path, server), parses
+responses incrementally with :class:`~repro.http.h1.H1Parser`, and
+timestamps requests with ``loop.time()`` so the session's metrics have
+the same meaning as in simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..cdn.jsonapi import VideoInfo, parse_video_info
+from ..cdn.signature import decipher
+from ..cdn.webproxy import parse_decoder_page
+from ..core.config import PlayerConfig
+from ..core.metrics import QoEMetrics
+from ..core.session import (
+    Command,
+    FetchChunk,
+    PathDead,
+    PlayerSession,
+    SessionDone,
+    StartBootstrap,
+    StartPlayback,
+    StreamDetails,
+)
+from ..errors import HTTPStatusError, NetworkError
+from ..http.h1 import H1Parser
+from ..http.messages import Request, Response
+
+
+@dataclass
+class LiveOutcome:
+    metrics: QoEMetrics
+    stop_reason: str
+    wall_seconds: float
+    requests_by_path: dict[int, int] = field(default_factory=dict)
+    peak_out_of_order: int = 0
+
+    @property
+    def startup_delay(self) -> float | None:
+        return self.metrics.startup_delay
+
+
+class _Connection:
+    """One persistent client connection with response parsing."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.parser = H1Parser(role="response")
+
+    async def request(self, request: Request, loop: asyncio.AbstractEventLoop):
+        """Send a request; returns (response, requested_at, first_byte_at, done_at)."""
+        requested_at = loop.time()
+        self.writer.write(request.encode())
+        await self.writer.drain()
+        first_byte_at: float | None = None
+        while True:
+            data = await self.reader.read(64 * 1024)
+            if not data:
+                raise NetworkError("connection closed mid-response")
+            if first_byte_at is None:
+                first_byte_at = loop.time()
+            messages = self.parser.feed(data)
+            if messages:
+                done_at = loop.time()
+                return messages[0].to_response(), requested_at, first_byte_at, done_at
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+
+@dataclass
+class _LivePathRuntime:
+    proxy_address: str  # "host:port"
+    info: VideoInfo | None = None
+    signature: str = ""
+    details: StreamDetails | None = None
+    video_connections: dict[str, _Connection] = field(default_factory=dict)
+
+
+class LivePlayerDriver:
+    """Drives PlayerSession over asyncio sockets."""
+
+    def __init__(
+        self,
+        proxy_addresses: list[str],
+        video_id: str,
+        config: PlayerConfig | None = None,
+        stop: str = "full",
+        target_cycles: int = 1,
+        timeout_s: float = 60.0,
+        network_ids: tuple[str, ...] = ("wifi-net", "lte-net"),
+    ) -> None:
+        if stop not in ("prebuffer", "cycles", "full"):
+            raise ValueError(f"unknown stop condition {stop!r}")
+        self.config = config or PlayerConfig()
+        self.video_id = video_id
+        self.stop = stop
+        self.target_cycles = target_cycles
+        self.timeout_s = timeout_s
+        path_specs = [
+            (f"lo{i}", network_ids[i]) for i in range(min(len(proxy_addresses), self.config.max_paths))
+        ]
+        self.session = PlayerSession(self.config, path_specs)
+        self._runtimes = {
+            i: _LivePathRuntime(proxy_address=proxy_addresses[i])
+            for i in range(len(path_specs))
+        }
+        self._finish: asyncio.Event = asyncio.Event()
+        self._stop_reason = "unknown"
+        self._tasks: list[asyncio.Task] = []
+
+    # -- public ---------------------------------------------------------------
+
+    async def run(self) -> LiveOutcome:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        result = self.session.start(loop.time())
+        self._execute(result.commands)
+        ticker = asyncio.ensure_future(self._ticker())
+        self._tasks.append(ticker)
+        try:
+            await asyncio.wait_for(self._finish.wait(), timeout=self.timeout_s)
+        except asyncio.TimeoutError:
+            self._stop_reason = "timeout"
+        finally:
+            for task in self._tasks:
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+            for runtime in self._runtimes.values():
+                for connection in runtime.video_connections.values():
+                    connection.close()
+        return LiveOutcome(
+            metrics=self.session.metrics,
+            stop_reason=self._stop_reason,
+            wall_seconds=loop.time() - started,
+            requests_by_path=dict(self.session.metrics.requests_by_path),
+            peak_out_of_order=(
+                self.session.ledger.peak_out_of_order if self.session.ledger else 0
+            ),
+        )
+
+    # -- command plumbing ----------------------------------------------------------
+
+    def _execute(self, commands: list[Command]) -> None:
+        for command in commands:
+            if isinstance(command, StartBootstrap):
+                self._spawn(self._bootstrap(command.path_id, command.server))
+            elif isinstance(command, FetchChunk):
+                self._spawn(self._fetch(command))
+            elif isinstance(command, StartPlayback):
+                if self.stop == "prebuffer":
+                    self._finish_once("prebuffer-complete")
+            elif isinstance(command, SessionDone):
+                self._finish_once(command.reason)
+            elif isinstance(command, PathDead):
+                pass
+        if (
+            self.stop == "cycles"
+            and len(self.session.metrics.completed_cycle_durations()) >= self.target_cycles
+        ):
+            self._finish_once("cycles-complete")
+
+    def _spawn(self, coroutine) -> None:
+        task = asyncio.ensure_future(coroutine)
+        self._tasks.append(task)
+
+    def _finish_once(self, reason: str) -> None:
+        if not self._finish.is_set():
+            self._stop_reason = reason
+            self._finish.set()
+
+    # -- IO: bootstrap ---------------------------------------------------------------
+
+    async def _connect(self, address: str) -> _Connection:
+        host, _, port = address.rpartition(":")
+        reader, writer = await asyncio.open_connection(host, int(port))
+        return _Connection(reader, writer)
+
+    async def _bootstrap(self, path_id: int, server: str | None) -> None:
+        loop = asyncio.get_running_loop()
+        runtime = self._runtimes[path_id]
+        try:
+            if server is not None and runtime.details is not None:
+                if server not in runtime.video_connections:
+                    runtime.video_connections[server] = await self._connect(server)
+                details = runtime.details
+            else:
+                details = await self._full_bootstrap(path_id, runtime, loop)
+        except (OSError, NetworkError, HTTPStatusError, Exception) as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            result = self.session.on_chunk_failed(
+                path_id, 0, loop.time(), reason=f"bootstrap: {exc!r}"
+            )
+            self._execute(result.commands)
+            return
+        result = self.session.on_path_ready(path_id, details, loop.time())
+        self._execute(result.commands)
+
+    async def _full_bootstrap(
+        self, path_id: int, runtime: _LivePathRuntime, loop: asyncio.AbstractEventLoop
+    ) -> StreamDetails:
+        proxy = await self._connect(runtime.proxy_address)
+        try:
+            response, _, _, done_at = await proxy.request(
+                Request.get(f"/videoinfo?v={self.video_id}", host=runtime.proxy_address),
+                loop,
+            )
+            if response.status != 200:
+                raise HTTPStatusError(response.status, response.reason)
+            info = parse_video_info(response.parsed_json())
+            json_completed_at = done_at
+            runtime.info = info
+            stream = info.stream(self.config.itag)
+            if stream.needs_decipher:
+                page, _, _, _ = await proxy.request(
+                    Request.get(info.decoder_path, host=runtime.proxy_address), loop
+                )
+                if page.status != 200:
+                    raise HTTPStatusError(page.status, page.reason)
+                program = parse_decoder_page(page.body)
+                runtime.signature = decipher(stream.enciphered_signature, program)
+            else:
+                runtime.signature = stream.signature
+        finally:
+            proxy.close()
+
+        primary = stream.hosts[0]
+        runtime.video_connections[primary] = await self._connect(primary)
+        details = StreamDetails(
+            total_bytes=stream.size_bytes,
+            bitrate_bytes_per_s=stream.size_bytes / info.duration_s,
+            duration_s=info.duration_s,
+            video_servers=tuple(stream.hosts),
+            json_completed_at=json_completed_at,
+        )
+        runtime.details = details
+        return details
+
+    # -- IO: chunks --------------------------------------------------------------------
+
+    async def _fetch(self, command: FetchChunk) -> None:
+        loop = asyncio.get_running_loop()
+        runtime = self._runtimes[command.path_id]
+        try:
+            connection = runtime.video_connections.get(command.server)
+            if connection is None:
+                connection = await self._connect(command.server)
+                runtime.video_connections[command.server] = connection
+            assert runtime.info is not None
+            target = runtime.info.playback_target(self.config.itag, runtime.signature)
+            request = Request.get(
+                target, host=command.server, byte_range=command.byte_range
+            )
+            response, requested_at, first_byte_at, done_at = await connection.request(
+                request, loop
+            )
+            if response.status != 206:
+                raise HTTPStatusError(response.status, response.reason)
+            if len(response.body) != command.byte_range.length:
+                raise NetworkError(
+                    f"short body: {len(response.body)} != {command.byte_range.length}"
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            runtime.video_connections.pop(command.server, None)
+            result = self.session.on_chunk_failed(
+                command.path_id, 0, loop.time(), reason=repr(exc)
+            )
+            self._execute(result.commands)
+            return
+        result = self.session.on_chunk_complete(
+            command.path_id,
+            num_bytes=command.byte_range.length,
+            duration=done_at - requested_at,
+            now=done_at,
+            first_byte_at=first_byte_at,
+        )
+        self._execute(result.commands)
+
+    # -- playback clock -------------------------------------------------------------------
+
+    async def _ticker(self) -> None:
+        loop = asyncio.get_running_loop()
+        tick = self.config.tick_s
+        while not self._finish.is_set():
+            await asyncio.sleep(tick)
+            result = self.session.on_tick(tick, loop.time())
+            self._execute(result.commands)

@@ -1,0 +1,145 @@
+"""One-call loopback testbed: two shaped networks, CDN apps, a player.
+
+:class:`LiveTestbed` builds the live analogue of the §5 testbed:
+
+* per emulated network (WiFi-like, LTE-like): one web-proxy server and
+  ``video_servers_per_network`` video servers, each an asyncio server
+  on its own loopback port, shaped by that network's
+  :class:`~repro.live.shaping.PathShape`;
+* a shared catalog/token-mint/signature-cipher, identical objects to
+  the simulation's CDN;
+* server selection that answers with the asking network's pool — so
+  MSPlayer's two paths land on different servers, as over real WiFi+LTE.
+
+``run_live_session`` wires a :class:`~repro.live.client.LivePlayerDriver`
+to the testbed and runs one playback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cdn.catalog import Catalog
+from ..cdn.signature import SignatureCipher
+from ..cdn.tokens import TokenMint
+from ..cdn.videos import VideoMeta
+from ..cdn.videoserver import VideoServerApp
+from ..cdn.webproxy import WebProxyApp
+from ..core.config import PlayerConfig
+from ..errors import ConfigError
+from .client import LiveOutcome, LivePlayerDriver
+from .server import LiveHTTPServer
+from .shaping import PathShape
+
+#: Default path personalities: WiFi-like vs LTE-like, scaled down so a
+#: test video streams in seconds (ratios match the sim profiles).
+DEFAULT_SHAPES = (
+    PathShape(name="wifi", rate=1_500_000.0, one_way_delay=0.004),
+    PathShape(name="lte", rate=900_000.0, one_way_delay=0.012),
+)
+
+
+@dataclass
+class LiveTestbed:
+    """Two emulated networks on loopback."""
+
+    shapes: tuple[PathShape, ...] = DEFAULT_SHAPES
+    video_servers_per_network: int = 2
+    video_duration_s: float = 30.0
+    video_id: str = "liveLoopbk1"
+    itags: tuple[int, ...] = (18, 22)
+    copyrighted: bool = False
+    seed: int = 7
+
+    network_ids: tuple[str, ...] = ("wifi-net", "lte-net")
+    catalog: Catalog = field(init=False)
+    proxies: list[LiveHTTPServer] = field(init=False, default_factory=list)
+    video_servers: dict[str, list[LiveHTTPServer]] = field(init=False, default_factory=dict)
+    _selection: dict[str, list[str]] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.shapes) != len(self.network_ids):
+            raise ConfigError("one shape per network required")
+        self.catalog = Catalog()
+        self.catalog.add(
+            VideoMeta(
+                video_id=self.video_id,
+                title="Loopback clip",
+                author="live-harness",
+                duration_s=self.video_duration_s,
+                itags=self.itags,
+                copyrighted=self.copyrighted,
+            )
+        )
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        self._mint = TokenMint(secret=b"live-token-secret")
+        self._cipher = SignatureCipher.random(rng)
+        self._signature_secret = b"live-stream-secret"
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        clock = loop.time
+        for network_id, shape in zip(self.network_ids, self.shapes):
+            pool: list[LiveHTTPServer] = []
+            for index in range(self.video_servers_per_network):
+                app = VideoServerApp(
+                    self.catalog,
+                    self._mint,
+                    clock,
+                    pool=network_id,
+                    signature_secret=self._signature_secret,
+                    name=f"live-v{index}.{network_id}",
+                )
+                server = LiveHTTPServer(app, shape, client_network=network_id)
+                await server.start()
+                pool.append(server)
+            self.video_servers[network_id] = pool
+            self._selection[network_id] = [s.address for s in pool]
+
+            proxy_app = WebProxyApp(
+                self.catalog,
+                self._mint,
+                select_hosts=lambda net, sel=self._selection: list(sel[net]),
+                clock=clock,
+                cipher=self._cipher,
+                signature_secret=self._signature_secret,
+            )
+            proxy = LiveHTTPServer(proxy_app, shape, client_network=network_id)
+            await proxy.start()
+            self.proxies.append(proxy)
+
+    async def stop(self) -> None:
+        for server in self.proxies:
+            await server.stop()
+        for pool in self.video_servers.values():
+            for server in pool:
+                await server.stop()
+
+    @property
+    def proxy_addresses(self) -> list[str]:
+        return [p.address for p in self.proxies]
+
+
+async def run_live_session(
+    testbed: LiveTestbed,
+    config: PlayerConfig | None = None,
+    stop: str = "prebuffer",
+    target_cycles: int = 1,
+    timeout_s: float = 60.0,
+) -> LiveOutcome:
+    """Run one MSPlayer playback against a started testbed."""
+    driver = LivePlayerDriver(
+        proxy_addresses=testbed.proxy_addresses,
+        video_id=testbed.video_id,
+        config=config,
+        stop=stop,
+        target_cycles=target_cycles,
+        timeout_s=timeout_s,
+        network_ids=testbed.network_ids,
+    )
+    return await driver.run()

@@ -1,0 +1,150 @@
+"""The discrete-event environment: clock + scheduling queue.
+
+Usage::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.5)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 1.5 and proc.value == "done"
+
+Events scheduled at the same timestamp dispatch in (priority, FIFO)
+order, which keeps co-timed interactions deterministic — essential for
+reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Optional
+
+from ..errors import ClockError, SimulationError
+from .events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
+from .simclock import SimClock
+
+
+class EmptySchedule(SimulationError):
+    """``run()`` exhausted the event queue before reaching ``until``."""
+
+
+class Environment:
+    """Owns simulated time and the pending-event heap."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._clock = SimClock(start)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = 0  # FIFO tie-breaker for co-timed events
+        self._active_process: Optional[Process] = None
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Condition event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling (internal API used by events) ----------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ClockError(f"cannot schedule event {delay} seconds in the past")
+        self._counter += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._counter, event))
+
+    # -- execution ------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Dispatch exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise EmptySchedule("no scheduled events")
+        when, _priority, _tie, event = heapq.heappop(self._queue)
+        self._clock.advance_to(when)
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event.defused:
+            # An event failed and nobody was listening: surface it rather
+            # than letting the error pass silently.
+            raise event._value  # type: ignore[misc]
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — run to queue exhaustion;
+        * ``until=<float>`` — run to that simulated time (clock is left at
+          exactly ``until`` even if the next event is later);
+        * ``until=<Event>`` — run until that event is *processed*, then
+          return its value (re-raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            result: list[object] = []
+
+            def _capture(event: Event) -> None:
+                result.append(event)
+
+            if sentinel.processed:
+                if not sentinel.ok:
+                    raise sentinel._value  # type: ignore[misc]
+                return sentinel.value
+            sentinel.callbacks.append(_capture)
+            while not result:
+                if not self._queue:
+                    raise EmptySchedule(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if not sentinel._ok:
+                sentinel.defused = True
+                raise sentinel._value  # type: ignore[misc]
+            return sentinel._value
+
+        deadline = float(until)
+        if deadline < self.now:
+            raise ClockError(f"cannot run until {deadline} < now {self.now}")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._clock.advance_to(deadline)
+        return None

@@ -1,0 +1,265 @@
+"""Fluid bottleneck link with max-min (processor-sharing) bandwidth sharing.
+
+Each wireless interface in the paper's testbed has one bottleneck — the
+WiFi airlink or the LTE radio bearer.  We model each as a :class:`Link`:
+
+* capacity follows a :class:`~repro.net.bandwidth.BandwidthProcess`
+  (piecewise constant);
+* concurrently active flows share capacity max-min fairly, with
+  per-flow *rate caps* used by the TCP model to express slow-start and
+  receive-window limits;
+* the link can be taken down/up to model mobility events (the WiFi
+  break scenario of §2 "Robust Data Transport").
+
+The implementation is event-driven fluid simulation: whenever the flow
+set, a cap, or the capacity changes, the link settles the bytes
+delivered since the last change, recomputes the allocation, and
+schedules the next completion.  Stale wake-ups are filtered with a
+version counter, so no O(n²) cancellation bookkeeping is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Optional
+
+from ..errors import ConfigError, LinkDownError, NetworkError
+from .bandwidth import BandwidthProcess
+from .env import Environment
+from .events import Event
+
+
+def max_min_allocation(capacity: float, caps: list[float]) -> list[float]:
+    """Max-min fair rates for flows with upper bounds ``caps``.
+
+    Classic water-filling: repeatedly give every unsaturated flow an
+    equal share; flows whose cap is below their share are frozen at
+    their cap and the surplus is redistributed.
+
+    >>> max_min_allocation(10.0, [2.0, float("inf")])
+    [2.0, 8.0]
+    >>> max_min_allocation(9.0, [float("inf")] * 3)
+    [3.0, 3.0, 3.0]
+    """
+    if capacity < 0:
+        raise ConfigError("capacity must be non-negative")
+    n = len(caps)
+    if n == 0:
+        return []
+    rates = [0.0] * n
+    remaining = capacity
+    unsaturated = sorted(range(n), key=lambda i: caps[i])
+    while unsaturated:
+        share = remaining / len(unsaturated)
+        lowest = unsaturated[0]
+        if caps[lowest] <= share:
+            rates[lowest] = caps[lowest]
+            remaining -= caps[lowest]
+            unsaturated.pop(0)
+        else:
+            for index in unsaturated:
+                rates[index] = share
+            break
+    return rates
+
+
+class FlowHandle:
+    """A single fluid transfer in progress on a link.
+
+    Exposes the completion :class:`Event` (``done``), live accounting
+    (``bytes_delivered``, ``rate``), and knobs the TCP model uses
+    (``set_cap``).  Cancel with :meth:`abort` (fails ``done`` with the
+    given exception).
+    """
+
+    def __init__(self, link: "Link", total_bytes: float, cap: float) -> None:
+        if total_bytes <= 0:
+            raise ConfigError(f"flow size must be positive, got {total_bytes}")
+        if cap <= 0:
+            raise ConfigError(f"flow cap must be positive, got {cap}")
+        self.link = link
+        self.total_bytes = float(total_bytes)
+        self.remaining = float(total_bytes)
+        self.cap = float(cap)
+        self.rate = 0.0
+        self.done: Event = link.env.event()
+        self.started_at = link.env.now
+        self.finished_at: Optional[float] = None
+
+    @property
+    def bytes_delivered(self) -> float:
+        return self.total_bytes - self.remaining
+
+    @property
+    def active(self) -> bool:
+        return not self.done.triggered
+
+    def set_cap(self, cap: float) -> None:
+        """Update the flow's rate cap (bytes/s); ``inf`` removes it."""
+        if cap <= 0:
+            raise ConfigError(f"flow cap must be positive, got {cap}")
+        if not self.active:
+            return
+        self.cap = float(cap)
+        self.link._state_changed()
+
+    def abort(self, error: NetworkError | None = None) -> None:
+        """Terminate the flow; ``done`` fails with ``error``.
+
+        The error is annotated with ``flow_bytes_delivered`` so upper
+        layers can keep the in-order prefix that did arrive (a partial
+        HTTP body is still valid leading bytes of the range).
+        """
+        if not self.active:
+            return
+        self.link._detach(self)
+        failure = error or NetworkError("flow aborted")
+        failure.flow_bytes_delivered = int(self.bytes_delivered)  # type: ignore[attr-defined]
+        self.done.fail(failure)
+        self.done.defused = True  # caller may not be waiting anymore
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowHandle {self.bytes_delivered:.0f}/{self.total_bytes:.0f}B "
+            f"rate={self.rate:.0f}B/s cap={self.cap:.0f}>"
+        )
+
+
+class Link:
+    """One bottleneck link: capacity process + active flow set."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: BandwidthProcess,
+        name: str = "link",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.bandwidth = bandwidth
+        self.capacity = bandwidth.mean_rate
+        self._flows: list[FlowHandle] = []
+        self._version = 0
+        self._last_settle = env.now
+        self._down = False
+        #: Total bytes this link has carried (for Table 1 accounting).
+        self.bytes_carried = 0.0
+        #: Observers notified on up/down transitions (mobility handling).
+        self.status_listeners: list[Callable[[bool], None]] = []
+        self._segments: Iterator[tuple[float, float]] = bandwidth.segments()
+        env.process(self._capacity_process())
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    def start_flow(self, total_bytes: float, cap: float = math.inf) -> FlowHandle:
+        """Begin transferring ``total_bytes`` through the link.
+
+        Raises :class:`~repro.errors.LinkDownError` immediately if the
+        link is down — starting a transfer needs connectivity, whereas
+        flows already in progress merely stall while down.
+        """
+        if self._down:
+            raise LinkDownError(f"{self.name} is down")
+        flow = FlowHandle(self, total_bytes, cap)
+        self._settle()
+        self._flows.append(flow)
+        self._state_changed(settled=True)
+        return flow
+
+    def set_down(self, down: bool) -> None:
+        """Take the link down (flows stall) or bring it back up."""
+        if down == self._down:
+            return
+        self._settle()
+        self._down = down
+        self._state_changed(settled=True)
+        for listener in list(self.status_listeners):
+            listener(down)
+
+    def reset_flows(self, error: NetworkError | None = None) -> None:
+        """Abort every active flow (e.g. hard handover kills connections)."""
+        for flow in list(self._flows):
+            flow.abort(error or NetworkError(f"{self.name}: flows reset"))
+
+    # -- internal fluid machinery ----------------------------------------------
+
+    def _capacity_process(self):
+        """Apply the bandwidth process's piecewise-constant segments."""
+        for duration, rate in self._segments:
+            self._settle()
+            self.capacity = rate
+            self._state_changed(settled=True)
+            yield self.env.timeout(duration)
+
+    def _settle(self) -> None:
+        """Account bytes delivered since the last allocation change."""
+        now = self.env.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
+        if elapsed <= 0:
+            return
+        for flow in self._flows:
+            delivered = min(flow.rate * elapsed, flow.remaining)
+            if delivered > 0:
+                flow.remaining -= delivered
+                self.bytes_carried += delivered
+
+    def _detach(self, flow: FlowHandle) -> None:
+        if flow in self._flows:
+            self._settle()
+            self._flows.remove(flow)
+            self._state_changed(settled=True)
+
+    def _state_changed(self, settled: bool = False) -> None:
+        """Recompute allocation and (re)arm the next completion wake-up."""
+        if not settled:
+            self._settle()
+        self._version += 1
+
+        # Complete flows that have (numerically) hit zero remaining
+        # bytes.  The microbyte tolerance absorbs float crumbs from the
+        # rate*elapsed settlements; real chunks are >= 16 KB.
+        finished = [f for f in self._flows if f.remaining <= 1e-6]
+        if finished:
+            for flow in finished:
+                self._flows.remove(flow)
+                flow.rate = 0.0
+                flow.remaining = 0.0
+                flow.finished_at = self.env.now
+                flow.done.succeed(flow)
+            self._version += 1
+
+        capacity = 0.0 if self._down else self.capacity
+        rates = max_min_allocation(capacity, [f.cap for f in self._flows])
+        for flow, rate in zip(self._flows, rates):
+            flow.rate = rate
+
+        next_completion = math.inf
+        for flow in self._flows:
+            if flow.rate > 0:
+                next_completion = min(next_completion, flow.remaining / flow.rate)
+        if math.isfinite(next_completion):
+            # Floor the delay at one representable step of the clock so
+            # the wake-up is guaranteed to advance time (otherwise a
+            # sub-ulp completion would respin at the same timestamp
+            # forever).
+            minimum_step = math.ulp(self.env.now) * 4.0 + 1e-12
+            self.env.process(self._wake_after(max(next_completion, minimum_step), self._version))
+
+    def _wake_after(self, delay: float, version: int):
+        """Wake the link when the earliest completion is due (if still valid)."""
+        yield self.env.timeout(delay)
+        if version == self._version:
+            self._state_changed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "down" if self._down else f"{self.capacity:.0f}B/s"
+        return f"<Link {self.name} {state} flows={len(self._flows)}>"

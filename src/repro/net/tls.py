@@ -1,0 +1,113 @@
+"""TLS handshake *timing* model (Fig. 1 of the paper).
+
+YouTube serves both its web proxy and video servers over HTTPS (§4), so
+every path MSPlayer opens pays for a full TLS handshake before its first
+HTTP request.  The paper's Fig. 1 breaks the cost down as::
+
+    3WHS                     1 RTT
+    ClientHello ->
+      <- ServerHello, Certificate,
+         ServerHelloDone      1 RTT + Δ1   (server verifies/signs)
+    ClientKeyExchange ->
+      <- NewSessionTicket,
+         Finished             1 RTT + Δ2   (server key computation)
+
+after which the first HTTP request goes out, its first response byte
+arriving one RTT later.  Hence the paper's closed forms, which our
+benchmarks verify against the simulated message sequence:
+
+* secure connection usable after ``3R + Δ1 + Δ2``;
+* first response byte of the first request at ``η = 4R + Δ1 + Δ2``;
+* complete video-info JSON (two further round trips of packets) at
+  ``ψ = 6R + Δ1 + Δ2``;
+* first *video* packet, after repeating the handshake against the video
+  server, at ``π ≈ ψ + η``.
+
+No cryptography is performed: only the latency structure matters to the
+experiments, and modelling it as explicit message exchanges (rather
+than one lump constant) lets the same code path express session reuse
+and abbreviated handshakes (see :class:`TLSParams.resumption`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TLSParams:
+    """Server-side handshake compute costs, in seconds.
+
+    ``delta1`` is the certificate/key verification time charged between
+    ClientHello and ServerHelloDone; ``delta2`` the key-exchange
+    completion time charged before NewSessionTicket (Fig. 1's Δ1, Δ2).
+    ``resumption`` enables an abbreviated 1-RTT handshake when a session
+    ticket from a prior connection is presented (an extension the paper
+    leaves implicit; disabled in paper-faithful profiles).
+    """
+
+    delta1: float = 0.008
+    delta2: float = 0.008
+    resumption: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delta1 < 0 or self.delta2 < 0:
+            raise ConfigError("TLS compute delays must be non-negative")
+
+
+#: Message-sequence phases of a full handshake, for tracing/tests.
+FULL_HANDSHAKE_PHASES = (
+    "client_hello",
+    "server_hello_certificate_done",
+    "client_key_exchange",
+    "new_session_ticket_finished",
+)
+
+
+def tls_handshake_duration(rtt: float, params: TLSParams, resumed: bool = False) -> float:
+    """Total handshake time after TCP establishment (excludes the 3WHS).
+
+    Full handshake: two round trips plus both server compute delays.
+    Abbreviated (session resumption): one round trip plus ``delta2``.
+
+    >>> tls_handshake_duration(0.050, TLSParams(delta1=0.008, delta2=0.008))
+    0.116
+    """
+    if rtt < 0:
+        raise ConfigError("rtt must be non-negative")
+    if resumed and params.resumption:
+        return rtt + params.delta2
+    return 2.0 * rtt + params.delta1 + params.delta2
+
+
+def secure_connection_setup_time(rtt: float, params: TLSParams) -> float:
+    """3WHS + TLS: time until the first HTTP request can be *sent*.
+
+    This is the ``3R + Δ1 + Δ2`` term; adding the request's first-byte
+    round trip yields the paper's ``η = 4R + Δ1 + Δ2``.
+    """
+    return rtt + tls_handshake_duration(rtt, params)
+
+
+def eta(rtt: float, params: TLSParams) -> float:
+    """Paper's η: time to an established secure HTTP connection (first byte)."""
+    return 4.0 * rtt + params.delta1 + params.delta2
+
+
+def psi(rtt: float, params: TLSParams) -> float:
+    """Paper's ψ: time to complete video-info JSON (two extra round trips)."""
+    return 6.0 * rtt + params.delta1 + params.delta2
+
+
+def pi_first_video_packet(rtt: float, params: TLSParams) -> float:
+    """Paper's π ≈ ψ + η: first video packet via proxy-then-video-server."""
+    return psi(rtt, params) + eta(rtt, params)
+
+
+def head_start(rtt_fast: float, rtt_slow: float) -> float:
+    """π₂ − π₁ ≈ 10·(θ−1)·R₁: the fast path's fetch head start (§3.2)."""
+    if rtt_fast <= 0 or rtt_slow <= 0:
+        raise ConfigError("RTTs must be positive")
+    return 10.0 * (rtt_slow - rtt_fast)

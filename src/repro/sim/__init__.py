@@ -1,0 +1,46 @@
+"""Discrete-event simulation driver for MSPlayer and the baselines.
+
+This package is the "testbed" (§5) and the "YouTube service" (§6) of
+the paper, as code:
+
+* :mod:`repro.sim.profiles` — calibrated network profiles: the campus
+  testbed (stable links), the wide-area YouTube scenario (burstier,
+  longer RTTs), and mobility variants with interface outages;
+* :mod:`repro.sim.scenario` — builds a complete world from a profile:
+  environment, links, interfaces, CDN deployment, DNS, one video;
+* :mod:`repro.sim.driver` — runs a :class:`repro.core.PlayerSession`
+  against that world, translating its commands into simulated IO;
+* :mod:`repro.sim.singlepath` — drives the single-path baseline player
+  (Adobe-Flash/HTML5-style) for Figs. 2, 4 and 5;
+* :mod:`repro.sim.runner` — repeated-trial experiment execution with
+  derived seeds (the paper randomizes configuration order over 20
+  repetitions; we give each (configuration, trial) an independent
+  random substream).
+"""
+
+from .profiles import (
+    InterfaceProfile,
+    NetworkProfile,
+    mobility_profile,
+    testbed_profile,
+    youtube_profile,
+)
+from .scenario import Scenario, ScenarioConfig
+from .driver import MSPlayerDriver, SessionOutcome
+from .singlepath import SinglePathDriver
+from .runner import TrialRunner, TrialResult
+
+__all__ = [
+    "InterfaceProfile",
+    "NetworkProfile",
+    "testbed_profile",
+    "youtube_profile",
+    "mobility_profile",
+    "Scenario",
+    "ScenarioConfig",
+    "MSPlayerDriver",
+    "SessionOutcome",
+    "SinglePathDriver",
+    "TrialRunner",
+    "TrialResult",
+]

@@ -1,0 +1,117 @@
+"""Repeated-trial experiment execution.
+
+The paper repeats each configuration 20 times with randomized ordering
+over 12 hours (§5.2).  Ordering randomization exists to decorrelate
+configurations from diurnal network drift; in simulation the analogue
+is giving every (configuration, trial) pair an *independent* random
+substream, which :class:`TrialRunner` does via
+:class:`~repro.rng.RngFactory` seed derivation.  Each trial builds a
+fresh :class:`~repro.sim.scenario.Scenario`, so trials are i.i.d. and
+embarrassingly reproducible: ``(root_seed, config_label, trial_index)``
+fully determines a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import PlayerConfig
+from ..rng import RngFactory
+from .driver import MSPlayerDriver, SessionOutcome
+from .profiles import NetworkProfile
+from .scenario import Scenario, ScenarioConfig
+from .singlepath import SinglePathDriver
+
+
+@dataclass
+class TrialResult:
+    """One configuration's results across trials."""
+
+    label: str
+    outcomes: list[SessionOutcome] = field(default_factory=list)
+
+    def startup_delays(self) -> list[float]:
+        return [
+            o.startup_delay for o in self.outcomes if o.startup_delay is not None
+        ]
+
+    def cycle_durations(self) -> list[float]:
+        durations: list[float] = []
+        for outcome in self.outcomes:
+            durations.extend(outcome.metrics.completed_cycle_durations())
+        return durations
+
+    def traffic_fractions(self, path_id: int, phase: str) -> list[float]:
+        return [o.metrics.traffic_fraction(path_id, phase) for o in self.outcomes]
+
+
+#: A driver factory: scenario -> something with .run() -> SessionOutcome.
+DriverFactory = Callable[[Scenario], object]
+
+
+class TrialRunner:
+    """Runs driver factories over fresh scenarios with derived seeds."""
+
+    def __init__(
+        self,
+        profile_factory: Callable[[], NetworkProfile],
+        scenario_config: ScenarioConfig | None = None,
+        root_seed: int = 20141202,  # CoNEXT'14 started Dec 2, 2014
+        trials: int = 20,  # the paper's repetition count (§5.2)
+    ) -> None:
+        self.profile_factory = profile_factory
+        self.scenario_config = scenario_config or ScenarioConfig()
+        self.root = RngFactory(root_seed)
+        self.trials = trials
+
+    def seed_for(self, label: str, trial: int) -> int:
+        return self.root.child(label).integer(f"trial-{trial}")
+
+    def run(self, label: str, make_driver: DriverFactory) -> TrialResult:
+        """Execute ``trials`` independent runs of one configuration."""
+        result = TrialResult(label)
+        for trial in range(self.trials):
+            scenario = Scenario(
+                self.profile_factory(),
+                seed=self.seed_for(label, trial),
+                config=self.scenario_config,
+            )
+            driver = make_driver(scenario)
+            result.outcomes.append(driver.run())  # type: ignore[attr-defined]
+        return result
+
+    # -- canned factories ---------------------------------------------------------
+
+    def msplayer(
+        self,
+        config: PlayerConfig,
+        stop: str = "prebuffer",
+        target_cycles: int = 3,
+    ) -> DriverFactory:
+        def factory(scenario: Scenario) -> MSPlayerDriver:
+            return MSPlayerDriver(
+                scenario, config=config, stop=stop, target_cycles=target_cycles
+            )
+
+        return factory
+
+    def singlepath(
+        self,
+        iface_index: int,
+        chunk_bytes: int,
+        config: PlayerConfig,
+        stop: str = "prebuffer",
+        target_cycles: int = 3,
+    ) -> DriverFactory:
+        def factory(scenario: Scenario) -> SinglePathDriver:
+            return SinglePathDriver(
+                scenario,
+                iface_index=iface_index,
+                chunk_bytes=chunk_bytes,
+                config=config,
+                stop=stop,
+                target_cycles=target_cycles,
+            )
+
+        return factory

@@ -1,0 +1,141 @@
+"""Scenario construction: profile → a runnable simulated world.
+
+A :class:`Scenario` owns everything one trial needs: the environment,
+the two access links and interfaces, the CDN deployment (proxies +
+video servers in each network), the DNS resolver, and the video under
+test.  Scenarios are cheap to build, and every trial builds a fresh one
+so no state leaks between repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cdn.catalog import Catalog
+from ..cdn.deployment import CDNConfig, CDNDeployment
+from ..cdn.videos import VideoMeta
+from ..errors import ConfigError
+from ..net.dns import StubResolver
+from ..net.env import Environment
+from ..net.iface import NetworkInterface
+from ..net.link import Link
+from ..net.topology import Network
+from ..rng import RngFactory
+from .profiles import NetworkProfile
+
+#: Network ids used throughout scenarios: index 0 = WiFi, 1 = LTE.
+WIFI_NET = "wifi-net"
+LTE_NET = "lte-net"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Per-trial knobs that are not part of the network profile."""
+
+    video_duration_s: float = 300.0
+    video_id: str = "qjT4T2gU9sM"  # the paper's own example URL (§3.1)
+    copyrighted: bool = False
+    itags: tuple[int, ...] = (18, 22, 37)
+    selection_policy: str = "static"
+    overload_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.video_duration_s <= 0:
+            raise ConfigError("video_duration_s must be positive")
+
+
+class Scenario:
+    """One fully wired simulated world."""
+
+    def __init__(self, profile: NetworkProfile, seed: int, config: ScenarioConfig | None = None) -> None:
+        self.profile = profile
+        self.config = config or ScenarioConfig()
+        self.rng_factory = RngFactory(seed)
+        self.env = Environment()
+        self.network = Network(self.env)
+        self.resolver = StubResolver(self.env, lookup_delay=profile.dns_delay_s)
+
+        # Access links and interfaces (index 0 = WiFi, 1 = LTE).
+        self.wifi_link = Link(
+            self.env,
+            profile.wifi.bandwidth_process(self.rng_factory, "wifi"),
+            name="wifi-link",
+        )
+        self.lte_link = Link(
+            self.env,
+            profile.lte.bandwidth_process(self.rng_factory, "lte"),
+            name="lte-link",
+        )
+        self.wifi = NetworkInterface(
+            self.env,
+            name="wlan0",
+            kind="wifi",
+            link=self.wifi_link,
+            latency=profile.wifi.latency_process(self.rng_factory, "wifi"),
+            network_id=WIFI_NET,
+            address="192.168.1.23",
+        )
+        self.lte = NetworkInterface(
+            self.env,
+            name="wwan0",
+            kind="lte",
+            link=self.lte_link,
+            latency=profile.lte.latency_process(self.rng_factory, "lte"),
+            network_id=LTE_NET,
+            address="10.54.3.99",
+        )
+
+        # The video under test (the paper pre-downloads one HD clip, §5).
+        self.catalog = Catalog()
+        self.video = self.catalog.add(
+            VideoMeta(
+                video_id=self.config.video_id,
+                title="Testbed HD clip",
+                author="umass",
+                duration_s=self.config.video_duration_s,
+                itags=self.config.itags,
+                copyrighted=self.config.copyrighted,
+            )
+        )
+
+        self.deployment = CDNDeployment(
+            self.env,
+            self.network,
+            self.catalog,
+            CDNConfig(
+                networks=(WIFI_NET, LTE_NET),
+                video_servers_per_network=profile.video_servers_per_network,
+                selection_policy=self.config.selection_policy,
+                tls=profile.tls,
+                proxy_distance=profile.proxy_distance_s,
+                video_distance=profile.video_distance_s,
+                overload_threshold=self.config.overload_threshold,
+            ),
+            rng=self.rng_factory.generator("cdn"),
+            resolver=self.resolver,
+        )
+
+        self._schedule_outages()
+
+    # -- helpers ----------------------------------------------------------------
+
+    def iface_for(self, index: int) -> NetworkInterface:
+        """Path index → interface (0 = WiFi, the designated fast path)."""
+        return (self.wifi, self.lte)[index]
+
+    def path_specs(self, paths: int = 2) -> list[tuple[str, str]]:
+        """``(iface_name, network_id)`` pairs for PlayerSession."""
+        specs = [(self.wifi.name, WIFI_NET), (self.lte.name, LTE_NET)]
+        return specs[:paths]
+
+    def _schedule_outages(self) -> None:
+        for outage in self.profile.outages:
+            iface = self.wifi if outage.iface == "wifi" else self.lte
+
+            def toggler(iface=iface, outage=outage):
+                yield self.env.timeout(outage.down_at)
+                iface.set_up(False)
+                yield self.env.timeout(outage.up_at - outage.down_at)
+                iface.set_up(True)
+
+            self.env.process(toggler())

@@ -1,0 +1,187 @@
+"""Byte, bitrate, and time unit helpers.
+
+The paper mixes units freely — chunk sizes in KB/MB (binary multiples,
+matching the 64 KB / 256 KB player defaults reported in [23]), link
+capacities in Mb/s (decimal), and buffer levels in seconds of video.
+This module gives every layer one vocabulary so that unit bugs (the
+classic KB-vs-kb factor of 8,000) cannot silently creep in.
+
+Conventions used throughout the library:
+
+* sizes are ``int`` **bytes**; ``KB``/``MB`` are binary (1024-based)
+  because player chunk sizes are powers of two;
+* rates are ``float`` **bytes per second** internally; the constructors
+  :func:`mbit`, :func:`kbit` convert from decimal bits/s as used for
+  link capacities and video bitrates;
+* times are ``float`` **seconds**.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import UnitParseError
+
+#: One kibibyte in bytes (player chunk sizes are binary multiples).
+KB: int = 1024
+#: One mebibyte in bytes.
+MB: int = 1024 * 1024
+#: One gibibyte in bytes.
+GB: int = 1024 * 1024 * 1024
+
+#: Milliseconds expressed in seconds, for readable RTT literals.
+MS: float = 1e-3
+
+
+def kbit(rate_kbps: float) -> float:
+    """Convert a rate in kilobits/s (decimal) to bytes/s."""
+    return rate_kbps * 1000.0 / 8.0
+
+
+def mbit(rate_mbps: float) -> float:
+    """Convert a rate in megabits/s (decimal) to bytes/s.
+
+    >>> mbit(8.0)
+    1000000.0
+    """
+    return rate_mbps * 1_000_000.0 / 8.0
+
+
+def to_mbit(rate_bytes_per_s: float) -> float:
+    """Convert a rate in bytes/s back to megabits/s (decimal)."""
+    return rate_bytes_per_s * 8.0 / 1_000_000.0
+
+
+_SIZE_RE = re.compile(
+    r"""^\s*
+        (?P<num>\d+(?:\.\d+)?)
+        \s*
+        (?P<unit>B|KB|KIB|MB|MIB|GB|GIB|K|M|G)?
+        \s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_SIZE_MULTIPLIER = {
+    None: 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "KIB": KB,
+    "M": MB,
+    "MB": MB,
+    "MIB": MB,
+    "G": GB,
+    "GB": GB,
+    "GIB": GB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size like ``"256KB"`` or ``"1MB"`` to bytes.
+
+    Integers pass through unchanged, so configuration code can accept
+    either form.  Binary multiples are used for K/M/G, matching how the
+    paper (and YouTube players) quote chunk sizes.
+
+    >>> parse_size("256KB")
+    262144
+    >>> parse_size("1MB") == 1024 * 1024
+    True
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise UnitParseError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise UnitParseError(f"unparseable size: {text!r}")
+    value = float(match.group("num"))
+    unit = match.group("unit")
+    multiplier = _SIZE_MULTIPLIER[unit.upper() if unit else None]
+    result = value * multiplier
+    if result != int(result):
+        raise UnitParseError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count the way the paper labels axes (16KB … 1MB).
+
+    Exact binary multiples render without a decimal point; other values
+    get one decimal of precision.
+
+    >>> format_size(262144)
+    '256KB'
+    >>> format_size(1536)
+    '1.5KB'
+    """
+    if num_bytes < 0:
+        raise UnitParseError(f"size must be non-negative, got {num_bytes}")
+    for unit, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if num_bytes >= factor:
+            value = num_bytes / factor
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+    return f"{num_bytes}B"
+
+
+_RATE_RE = re.compile(
+    r"""^\s*
+        (?P<num>\d+(?:\.\d+)?)
+        \s*
+        (?P<unit>bps|kbps|mbps|gbps|kbit|mbit|gbit)
+        \s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_RATE_MULTIPLIER = {
+    "bps": 1.0,
+    "kbps": 1e3,
+    "kbit": 1e3,
+    "mbps": 1e6,
+    "mbit": 1e6,
+    "gbps": 1e9,
+    "gbit": 1e9,
+}
+
+
+def parse_rate(text: str | float) -> float:
+    """Parse a rate like ``"22mbps"`` into bytes/s.
+
+    Bare numbers (int/float) are taken as bytes/s already.
+
+    >>> parse_rate("8mbps")
+    1000000.0
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise UnitParseError(f"rate must be non-negative, got {text}")
+        return float(text)
+    match = _RATE_RE.match(text)
+    if match is None:
+        raise UnitParseError(f"unparseable rate: {text!r}")
+    bits_per_s = float(match.group("num")) * _RATE_MULTIPLIER[match.group("unit").lower()]
+    return bits_per_s / 8.0
+
+
+def seconds_of_video(num_bytes: int, bitrate_bytes_per_s: float) -> float:
+    """How many seconds of playback ``num_bytes`` of media represents.
+
+    The paper streams constant-bitrate video (no rate adaptation, §2),
+    so bytes map linearly to playback time.
+    """
+    if bitrate_bytes_per_s <= 0:
+        raise UnitParseError("bitrate must be positive")
+    return num_bytes / bitrate_bytes_per_s
+
+
+def bytes_of_video(duration_s: float, bitrate_bytes_per_s: float) -> int:
+    """Bytes needed to hold ``duration_s`` seconds of constant-bitrate video."""
+    if duration_s < 0:
+        raise UnitParseError("duration must be non-negative")
+    if bitrate_bytes_per_s <= 0:
+        raise UnitParseError("bitrate must be positive")
+    return int(round(duration_s * bitrate_bytes_per_s))

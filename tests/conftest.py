@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PlayerConfig
+from repro.net.bandwidth import ConstantBandwidth
+from repro.net.env import Environment
+from repro.net.latency import ConstantLatency
+from repro.net.link import Link
+from repro.units import mbit
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(12345))
+
+
+@pytest.fixture
+def config() -> PlayerConfig:
+    return PlayerConfig()
+
+
+def make_link(env: Environment, mbps: float = 10.0, name: str = "link") -> Link:
+    """A constant-capacity link helper used across net tests."""
+    return Link(env, ConstantBandwidth(mbit(mbps)), name=name)
+
+
+@pytest.fixture
+def link(env: Environment) -> Link:
+    return make_link(env)
+
+
+@pytest.fixture
+def latency() -> ConstantLatency:
+    return ConstantLatency(0.010)  # RTT 20 ms

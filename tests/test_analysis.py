@@ -1,0 +1,114 @@
+"""Statistics and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    harmonic_mean,
+    iqr,
+    median,
+    percentile,
+    summarize,
+)
+from repro.analysis.tables import ascii_boxplot, format_table, render_distribution_rows
+from repro.errors import ConfigError
+
+samples = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False), min_size=2, max_size=50
+)
+
+
+class TestStats:
+    def test_median_matches_numpy(self):
+        values = [3.0, 1.0, 2.0, 9.0]
+        assert median(values) == float(np.median(values))
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 101.0)
+
+    def test_iqr_ordering(self):
+        low, high = iqr(list(range(100)))
+        assert low < high
+
+    def test_empty_rejected(self):
+        for fn in (median, harmonic_mean, summarize):
+            with pytest.raises(ConfigError):
+                fn([])
+
+    @given(samples)
+    def test_harmonic_le_arithmetic(self, values):
+        # AM-HM inequality: sanity for the estimator rationale.
+        assert harmonic_mean(values) <= float(np.mean(values)) * (1 + 1e-9)
+
+    def test_harmonic_requires_positive(self):
+        with pytest.raises(ConfigError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_bootstrap_ci_contains_point_estimate(self):
+        rng = np.random.Generator(np.random.PCG64(0))
+        values = rng.normal(10.0, 1.0, size=200)
+        low, high = bootstrap_ci(values, confidence=0.95, resamples=500)
+        assert low <= float(np.median(values)) <= high
+        assert high - low < 1.0  # tight for n=200
+
+    def test_bootstrap_deterministic_given_seed(self):
+        values = list(range(1, 30))
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_summarize_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.p25 < summary.median < summary.p75
+
+    def test_summary_single_value_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table([{"name": "a", "value": "1"}, {"name": "bbbb", "value": "22"}])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        assert format_table([{"a": "1"}], title="T").splitlines()[0] == "T"
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigError):
+            format_table([])
+
+    def test_boxplot_markers_present(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 10.0])
+        strip = ascii_boxplot(summary, 0.0, 11.0, width=40)
+        assert len(strip) == 40
+        for marker in "*[]":
+            assert marker in strip
+
+    def test_boxplot_median_position_scales(self):
+        summary = summarize([5.0] * 5)
+        strip = ascii_boxplot(summary, 0.0, 10.0, width=41)
+        assert strip.index("*") == 20  # exactly the middle
+
+    def test_boxplot_bad_scale_rejected(self):
+        summary = summarize([1.0, 2.0])
+        with pytest.raises(ConfigError):
+            ascii_boxplot(summary, 5.0, 5.0)
+
+    def test_render_distribution_rows(self):
+        text = render_distribution_rows(
+            [("WiFi", [10.0, 11.0, 12.0]), ("MSPlayer", [6.0, 7.0, 8.0])],
+            title="Fig. X",
+        )
+        assert "Fig. X" in text
+        assert "WiFi" in text and "MSPlayer" in text
+        assert "median=7.00s" in text
+
+    def test_render_degenerate_identical_values(self):
+        text = render_distribution_rows([("A", [2.0, 2.0])])
+        assert "A" in text

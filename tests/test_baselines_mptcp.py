@@ -1,0 +1,61 @@
+"""MPTCP-like single-source aggregation baseline (EXP-X2)."""
+
+import pytest
+
+from repro.baselines.mptcp import MPTCPLikeDriver
+from repro.core.config import PlayerConfig
+from repro.sim.driver import MSPlayerDriver
+from repro.sim.profiles import testbed_profile, youtube_profile
+from repro.sim.scenario import Scenario, ScenarioConfig
+
+
+def scenario(seed=1, **kwargs):
+    return Scenario(
+        testbed_profile(), seed=seed, config=ScenarioConfig(video_duration_s=120.0, **kwargs)
+    )
+
+
+class TestMPTCPLike:
+    def test_all_traffic_lands_on_one_server(self):
+        driver = MPTCPLikeDriver(scenario(), PlayerConfig(), stop="prebuffer")
+        outcome = driver.run()
+        served = {k: v for k, v in outcome.server_bytes.items() if v > 0}
+        assert len(served) == 1
+        assert driver.server_concentration == pytest.approx(1.0)
+
+    def test_msplayer_spreads_across_servers(self):
+        driver = MSPlayerDriver(scenario(), PlayerConfig(), stop="prebuffer")
+        outcome = driver.run()
+        served = {k: v for k, v in outcome.server_bytes.items() if v > 0}
+        assert len(served) == 2  # one per network
+
+    def test_both_paths_still_used(self):
+        driver = MPTCPLikeDriver(scenario(seed=2), PlayerConfig(), stop="prebuffer")
+        outcome = driver.run()
+        assert outcome.metrics.traffic_fraction(0, "prebuffer") < 1.0
+        assert outcome.metrics.traffic_fraction(1, "prebuffer") < 1.0
+
+    def test_completes_prebuffering(self):
+        outcome = MPTCPLikeDriver(scenario(seed=3), PlayerConfig(), stop="prebuffer").run()
+        assert outcome.stop_reason == "prebuffer-complete"
+        assert outcome.startup_delay is not None
+
+    def test_overloaded_single_server_hurts(self):
+        # With an overloadable server, concentrating demand is slower
+        # than spreading it — the §2 source-diversity argument.
+        config = PlayerConfig()
+        slow, fast = [], []
+        for seed in range(3):
+            world = Scenario(
+                youtube_profile(),
+                seed=seed,
+                config=ScenarioConfig(video_duration_s=120.0, overload_threshold=1),
+            )
+            slow.append(MPTCPLikeDriver(world, config, stop="prebuffer").run().startup_delay)
+            world2 = Scenario(
+                youtube_profile(),
+                seed=seed,
+                config=ScenarioConfig(video_duration_s=120.0, overload_threshold=1),
+            )
+            fast.append(MSPlayerDriver(world2, config, stop="prebuffer").run().startup_delay)
+        assert sum(fast) < sum(slow)

@@ -1,0 +1,84 @@
+"""CDN deployment builder."""
+
+import pytest
+
+from repro.cdn.catalog import Catalog
+from repro.cdn.deployment import CDNConfig, CDNDeployment, PROXY_DNS_NAME
+from repro.cdn.videos import VideoMeta
+from repro.errors import ConfigError
+from repro.net.dns import StubResolver
+from repro.net.env import Environment
+from repro.net.topology import Network
+
+
+def build(env=None, rng=None, **config_kwargs):
+    import numpy as np
+
+    env = env or Environment()
+    network = Network(env)
+    resolver = StubResolver(env)
+    catalog = Catalog()
+    catalog.add(
+        VideoMeta(video_id="abcdefghijk", title="t", author="a", duration_s=60.0)
+    )
+    deployment = CDNDeployment(
+        env,
+        network,
+        catalog,
+        CDNConfig(**config_kwargs),
+        rng=rng if rng is not None else np.random.Generator(np.random.PCG64(1)),
+        resolver=resolver,
+    )
+    return deployment, network, resolver
+
+
+class TestDeployment:
+    def test_default_shape(self, rng):
+        deployment, network, _ = build(rng=rng)
+        assert set(deployment.pools) == {"wifi-net", "lte-net"}
+        for pool in deployment.pools.values():
+            assert len(pool.proxy_hosts) == 1
+            assert len(pool.video_hosts) == 2
+
+    def test_hosts_registered_in_network(self, rng):
+        deployment, network, _ = build(rng=rng)
+        host = network.host("v1.wifi-net.example")
+        assert host.network_id == "wifi-net"
+        assert host.app is not None
+
+    def test_dns_records_per_network(self, rng):
+        _, _, resolver = build(rng=rng)
+        wifi = resolver.resolve_now(PROXY_DNS_NAME, "wifi-net")
+        lte = resolver.resolve_now(PROXY_DNS_NAME, "lte-net")
+        assert wifi == ["proxy1.wifi-net.example"]
+        assert lte == ["proxy1.lte-net.example"]
+
+    def test_selection_pools_match_video_hosts(self, rng):
+        deployment, _, _ = build(rng=rng)
+        assert deployment.selection.select("wifi-net") == deployment.video_addresses(
+            "wifi-net"
+        )
+
+    def test_custom_sizes(self, rng):
+        deployment, _, _ = build(rng=rng, video_servers_per_network=3, proxies_per_network=2)
+        pool = deployment.pools["wifi-net"]
+        assert len(pool.video_hosts) == 3
+        assert len(pool.proxy_hosts) == 2
+
+    def test_single_network_deployment(self, rng):
+        deployment, _, _ = build(rng=rng, networks=("wifi-net",))
+        assert list(deployment.pools) == ["wifi-net"]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CDNConfig(networks=())
+        with pytest.raises(ConfigError):
+            CDNConfig(video_servers_per_network=0)
+
+    def test_bytes_served_starts_zero(self, rng):
+        deployment, _, _ = build(rng=rng)
+        assert all(v == 0 for v in deployment.total_bytes_served().values())
+
+    def test_proxy_address_helper(self, rng):
+        deployment, _, _ = build(rng=rng)
+        assert deployment.proxy_address("lte-net") == "proxy1.lte-net.example"

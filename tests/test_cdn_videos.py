@@ -1,0 +1,125 @@
+"""Video formats, metadata, byte/time arithmetic, catalog."""
+
+import numpy as np
+import pytest
+
+from repro.cdn.catalog import Catalog, make_video_id
+from repro.cdn.videos import DEFAULT_ITAG, FORMATS, VideoAsset, VideoMeta
+from repro.errors import ConfigError, VideoNotFoundError
+
+
+def meta(duration=300.0, **kwargs):
+    defaults = dict(
+        video_id="qjT4T2gU9sM", title="t", author="a", duration_s=duration
+    )
+    defaults.update(kwargs)
+    return VideoMeta(**defaults)
+
+
+class TestVideoMeta:
+    def test_paper_itag_is_720p_mp4(self):
+        fmt = FORMATS[DEFAULT_ITAG]
+        assert fmt.resolution == "720p" and fmt.container == "mp4"
+
+    def test_eleven_literal_id_enforced(self):
+        with pytest.raises(ConfigError):
+            meta(video_id="short")
+
+    def test_watch_url_shape(self):
+        # The §3.1 example URL.
+        assert meta().watch_url == "http://www.youtube.com/watch?v=qjT4T2gU9sM"
+
+    def test_unknown_itag_rejected(self):
+        with pytest.raises(ConfigError):
+            meta(itags=(22, 999))
+
+    def test_format_lookup_restricted_to_offered(self):
+        video = meta(itags=(22,))
+        with pytest.raises(ConfigError):
+            video.format(18)
+
+    def test_duration_positive(self):
+        with pytest.raises(ConfigError):
+            meta(duration=0.0)
+
+
+class TestVideoAsset:
+    def test_size_from_bitrate(self):
+        asset = VideoAsset(meta(duration=100.0), 22)
+        expected = int(round(100.0 * FORMATS[22].total_bitrate_bytes_per_s))
+        assert asset.size_bytes == expected
+
+    def test_bytes_for_playback_clamped_to_file(self):
+        asset = VideoAsset(meta(duration=10.0), 22)
+        assert asset.bytes_for_playback(100.0) == asset.size_bytes
+
+    def test_playback_time_roundtrip(self):
+        asset = VideoAsset(meta(duration=120.0), 22)
+        num_bytes = asset.bytes_for_playback(40.0)
+        assert asset.playback_time(num_bytes) == pytest.approx(40.0, rel=1e-6)
+
+    def test_negative_rejected(self):
+        asset = VideoAsset(meta(), 22)
+        with pytest.raises(ConfigError):
+            asset.bytes_for_playback(-1.0)
+        with pytest.raises(ConfigError):
+            asset.playback_time(-1)
+
+    def test_higher_quality_is_bigger(self):
+        video = meta(itags=(18, 22, 37))
+        sizes = [VideoAsset(video, itag).size_bytes for itag in (18, 22, 37)]
+        assert sizes == sorted(sizes)
+
+
+class TestCatalog:
+    def test_add_get(self):
+        catalog = Catalog()
+        video = catalog.add(meta())
+        assert catalog.get(video.video_id) is video
+        assert video.video_id in catalog
+
+    def test_missing_video(self):
+        with pytest.raises(VideoNotFoundError):
+            Catalog().get("aaaaaaaaaaa")
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add(meta())
+        with pytest.raises(ConfigError):
+            catalog.add(meta())
+
+    def test_asset_helper(self):
+        catalog = Catalog()
+        catalog.add(meta())
+        asset = catalog.asset("qjT4T2gU9sM")
+        assert asset.itag == DEFAULT_ITAG
+
+    def test_make_video_id_shape(self, rng):
+        for _ in range(20):
+            video_id = make_video_id(rng)
+            assert len(video_id) == 11
+
+    def test_synthetic_population(self, rng):
+        catalog = Catalog.synthetic(rng, count=30, copyrighted_fraction=0.5)
+        assert len(catalog) == 30
+        flags = [catalog.get(v).copyrighted for v in catalog.ids()]
+        assert any(flags) and not all(flags)
+        durations = [catalog.get(v).duration_s for v in catalog.ids()]
+        assert all(30.0 <= d <= 3600.0 for d in durations)
+
+    def test_popularity_weights_sum_to_one(self, rng):
+        catalog = Catalog.synthetic(rng, count=25)
+        weights = catalog.popularity_weights(rng)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert set(weights) == set(catalog.ids())
+
+    def test_popularity_is_skewed(self, rng):
+        catalog = Catalog.synthetic(rng, count=50)
+        weights = sorted(catalog.popularity_weights(rng, zipf_s=1.2).values(), reverse=True)
+        assert weights[0] > 5 * weights[-1]
+
+    def test_synthetic_validation(self, rng):
+        with pytest.raises(ConfigError):
+            Catalog.synthetic(rng, count=0)
+        with pytest.raises(ConfigError):
+            Catalog.synthetic(rng, count=5, copyrighted_fraction=1.5)

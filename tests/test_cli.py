@@ -1,0 +1,73 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_play_defaults(self):
+        args = build_parser().parse_args(["play"])
+        assert args.profile == "testbed"
+        assert args.scheduler == "harmonic"
+        assert args.stop == "prebuffer"
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_every_registered_experiment_is_parseable(self):
+        for key in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", key])
+            assert args.id == key
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output and "testbed" in output
+
+    def test_play_quick(self, capsys):
+        code = main(
+            ["play", "--profile", "testbed", "--seed", "2", "--prebuffer", "20",
+             "--duration", "90", "--stop", "prebuffer"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "start-up delay" in output
+        assert "prebuffer-complete" in output
+
+    def test_play_single_path(self, capsys):
+        code = main(
+            ["play", "--paths", "1", "--prebuffer", "20", "--duration", "90"]
+        )
+        assert code == 0
+
+    def test_play_ratio_with_chunk(self, capsys):
+        code = main(
+            ["play", "--scheduler", "ratio", "--chunk", "1MB", "--prebuffer", "20",
+             "--duration", "90"]
+        )
+        assert code == 0
+
+    def test_experiment_x3(self, capsys):
+        assert main(["experiment", "x3"]) == 0
+        assert "harmonic" in capsys.readouterr().out
+
+    def test_experiment_fig2_few_trials(self, capsys):
+        assert main(["experiment", "fig2", "--trials", "3"]) == 0
+        assert "MSPlayer" in capsys.readouterr().out
+
+    def test_adaptive_quick(self, capsys):
+        code = main(
+            ["adaptive", "--controller", "fixed", "--itag", "18",
+             "--profile", "testbed", "--duration", "40"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean bitrate" in output

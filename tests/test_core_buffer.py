@@ -1,0 +1,200 @@
+"""Playout buffer: the §4 pre-buffering / ON-OFF re-buffering machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffer import BufferPhase, PlayoutBuffer
+from repro.core.config import PlayerConfig
+from repro.errors import BufferError_, ConfigError
+
+
+def make_buffer(prebuffer=40.0, low=10.0, refill=20.0, duration=300.0):
+    config = PlayerConfig(prebuffer_s=prebuffer, low_watermark_s=low, rebuffer_fetch_s=refill)
+    return PlayoutBuffer(config, duration)
+
+
+class TestPrebuffering:
+    def test_starts_prebuffering_with_fetch_on(self):
+        buffer = make_buffer()
+        assert buffer.phase is BufferPhase.PREBUFFERING
+        assert buffer.fetch_on
+        assert not buffer.playing
+
+    def test_no_playback_until_target(self):
+        buffer = make_buffer()
+        buffer.on_data(39.9, now=1.0)
+        assert buffer.phase is BufferPhase.PREBUFFERING
+        played = buffer.on_tick(1.0, now=2.0)
+        assert played == 0.0
+
+    def test_playback_starts_at_target(self):
+        buffer = make_buffer()
+        buffer.on_data(40.0, now=5.0)
+        assert buffer.phase is BufferPhase.STEADY
+        assert buffer.playing
+        assert not buffer.fetch_on
+
+    def test_the_paper_thresholds_are_defaults(self):
+        config = PlayerConfig()
+        assert config.prebuffer_s == 40.0
+        assert config.low_watermark_s == 10.0
+        assert config.rebuffer_fetch_s == 20.0
+
+
+class TestSteadyAndRebuffering:
+    def steady_buffer(self):
+        buffer = make_buffer()
+        buffer.on_data(40.0, now=0.0)
+        return buffer
+
+    def test_consumption_drains_level(self):
+        buffer = self.steady_buffer()
+        buffer.on_tick(5.0, now=5.0)
+        assert buffer.level_s == pytest.approx(35.0)
+        assert buffer.playhead_s == pytest.approx(5.0)
+
+    def test_fetch_resumes_below_low_watermark(self):
+        buffer = self.steady_buffer()
+        buffer.on_tick(29.9, now=29.9)
+        assert buffer.phase is BufferPhase.STEADY
+        buffer.on_tick(0.2, now=30.1)
+        assert buffer.phase is BufferPhase.REBUFFERING
+        assert buffer.fetch_on
+
+    def test_cycle_ends_after_fetching_target_amount(self):
+        # "refills the playout buffer until 20 seconds of video data are
+        # retrieved" — amount-based, not level-based (§4).
+        buffer = self.steady_buffer()
+        buffer.on_tick(30.5, now=30.5)
+        assert buffer.phase is BufferPhase.REBUFFERING
+        buffer.on_data(19.0, now=31.0)
+        assert buffer.phase is BufferPhase.REBUFFERING
+        buffer.on_data(1.5, now=31.5)
+        assert buffer.phase is BufferPhase.STEADY
+        assert not buffer.fetch_on
+
+    def test_consumption_during_cycle_does_not_extend_it(self):
+        buffer = self.steady_buffer()
+        buffer.on_tick(30.5, now=30.5)
+        buffer.on_data(10.0, now=31.0)
+        buffer.on_tick(5.0, now=36.0)  # playing while refilling
+        buffer.on_data(10.0, now=37.0)
+        assert buffer.phase is BufferPhase.STEADY
+
+    def test_playback_continues_while_rebuffering(self):
+        buffer = self.steady_buffer()
+        buffer.on_tick(30.5, now=30.5)
+        played = buffer.on_tick(1.0, now=31.5)
+        assert played == 1.0
+
+
+class TestStalls:
+    def test_stall_when_level_hits_zero(self):
+        buffer = make_buffer()
+        buffer.on_data(40.0, now=0.0)
+        buffer.on_tick(40.0, now=40.0)  # drain everything, no refill
+        assert buffer.phase is BufferPhase.STALLED
+        assert buffer.fetch_on
+        assert not buffer.playing
+
+    def test_stall_recovers_after_cycle_target(self):
+        buffer = make_buffer()
+        buffer.on_data(40.0, now=0.0)
+        buffer.on_tick(40.0, now=40.0)
+        buffer.on_data(20.0, now=45.0)
+        assert buffer.phase is BufferPhase.STEADY
+
+    def test_no_playback_while_stalled(self):
+        buffer = make_buffer()
+        buffer.on_data(40.0, now=0.0)
+        buffer.on_tick(40.0, now=40.0)
+        assert buffer.on_tick(1.0, now=41.0) == 0.0
+
+
+class TestCompletion:
+    def test_download_complete_short_circuits_prebuffer(self):
+        # A video shorter than the pre-buffer target must still play.
+        buffer = make_buffer(duration=15.0)
+        buffer.on_data(15.0, now=1.0)
+        buffer.mark_download_complete(now=1.0)
+        assert buffer.playing
+
+    def test_finished_phase_stops_fetching(self):
+        buffer = make_buffer()
+        buffer.on_data(40.0, now=0.0)
+        buffer.mark_download_complete(now=0.0)
+        assert buffer.phase is BufferPhase.FINISHED
+        assert not buffer.fetch_on
+
+    def test_playback_finished_flag(self):
+        buffer = make_buffer(duration=50.0)
+        buffer.on_data(50.0, now=0.0)
+        buffer.mark_download_complete(now=0.0)
+        buffer.on_tick(50.0, now=50.0)
+        assert buffer.playback_finished
+
+    def test_playhead_never_exceeds_duration(self):
+        buffer = make_buffer(duration=30.0)
+        buffer.on_data(30.0, now=0.0)
+        buffer.mark_download_complete(now=0.0)
+        buffer.on_tick(100.0, now=100.0)
+        assert buffer.playhead_s == pytest.approx(30.0)
+
+
+class TestValidation:
+    def test_negative_data_rejected(self):
+        with pytest.raises(BufferError_):
+            make_buffer().on_data(-1.0, now=0.0)
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(BufferError_):
+            make_buffer().on_tick(-1.0, now=0.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            PlayoutBuffer(PlayerConfig(), 0.0)
+
+    def test_watermark_below_prebuffer_enforced(self):
+        with pytest.raises(ConfigError):
+            PlayerConfig(prebuffer_s=10.0, low_watermark_s=10.0)
+
+
+class TestInvariantsProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["data", "tick"]),
+                st.floats(min_value=0.0, max_value=30.0),
+            ),
+            max_size=60,
+        )
+    )
+    def test_level_never_negative_and_transitions_logged(self, operations):
+        buffer = make_buffer()
+        now = 0.0
+        for kind, amount in operations:
+            now += 0.1
+            if kind == "data":
+                buffer.on_data(amount, now)
+            else:
+                buffer.on_tick(amount, now)
+            assert buffer.level_s >= 0.0
+            assert 0.0 <= buffer.playhead_s <= buffer.video_duration_s
+        # Transition log is time-ordered.
+        times = [t for t, _ in buffer.transitions]
+        assert times == sorted(times)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=15.0), min_size=1, max_size=40))
+    def test_fetch_off_implies_enough_buffered(self, chunks):
+        # Whenever the machine turns fetching OFF mid-stream, the level
+        # is above the low watermark (hysteresis holds).
+        buffer = make_buffer()
+        now = 0.0
+        for seconds in chunks:
+            now += 0.5
+            buffer.on_data(seconds, now)
+            buffer.on_tick(0.4, now + 0.1)
+            if not buffer.fetch_on and buffer.phase is BufferPhase.STEADY:
+                assert buffer.level_s > buffer.config.low_watermark_s - 0.5

@@ -1,0 +1,190 @@
+"""Chunk ledger: assignment, reassembly, out-of-order, failure requeue."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chunks import ChunkLedger
+from repro.errors import PlayerError
+from repro.http.ranges import ByteRange
+
+
+class TestAssignment:
+    def test_sequential_frontier_extension(self):
+        ledger = ChunkLedger(1000)
+        a = ledger.assign(0, 300)
+        b = ledger.assign(1, 300)
+        assert a.byte_range == ByteRange(0, 300)
+        assert b.byte_range == ByteRange(300, 600)
+
+    def test_last_chunk_truncated_at_eof(self):
+        ledger = ChunkLedger(500)
+        ledger.assign(0, 400)
+        assignment = ledger.assign(1, 400)
+        assert assignment.byte_range == ByteRange(400, 500)
+
+    def test_no_work_left_returns_none(self):
+        ledger = ChunkLedger(100)
+        ledger.assign(0, 100)
+        assert ledger.assign(1, 100) is None
+        assert ledger.fully_assigned
+
+    def test_one_assignment_per_path(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 100)
+        with pytest.raises(PlayerError):
+            ledger.assign(0, 100)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(PlayerError):
+            ChunkLedger(100).assign(0, 0)
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(PlayerError):
+            ChunkLedger(0)
+
+
+class TestCompletion:
+    def test_in_order_completion_advances_frontier(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 300)
+        ledger.complete_assignment(0)
+        assert ledger.contiguous_frontier == 300
+
+    def test_out_of_order_held_then_absorbed(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 300)
+        ledger.assign(1, 300)
+        ledger.complete_assignment(1)  # bytes 300-600 before 0-300
+        assert ledger.contiguous_frontier == 0
+        assert ledger.out_of_order_count == 1
+        ledger.complete_assignment(0)
+        assert ledger.contiguous_frontier == 600
+        assert ledger.out_of_order_count == 0
+
+    def test_peak_out_of_order_recorded(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 100)
+        ledger.assign(1, 100)
+        ledger.complete_assignment(1)
+        assert ledger.peak_out_of_order == 1
+
+    def test_complete_without_assignment_rejected(self):
+        with pytest.raises(PlayerError):
+            ChunkLedger(100).complete_assignment(0)
+
+    def test_completion_marks_complete(self):
+        ledger = ChunkLedger(200)
+        ledger.assign(0, 200)
+        ledger.complete_assignment(0)
+        assert ledger.complete
+        assert ledger.remaining_bytes == 0
+
+    def test_bytes_by_path(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 600)
+        ledger.assign(1, 400)
+        ledger.complete_assignment(0)
+        ledger.complete_assignment(1)
+        assert ledger.bytes_by_path == {0: 600, 1: 400}
+        assert ledger.traffic_fraction(0) == pytest.approx(0.6)
+
+
+class TestFailure:
+    def test_failed_chunk_requeued_and_served_first(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 300)
+        ledger.assign(1, 300)
+        ledger.fail_assignment(0)  # [0,300) back to the queue
+        replacement = ledger.assign(1, 500) if False else None
+        # Path 1 still has its chunk in flight; path 0 redials and gets
+        # the requeued range (possibly split to its chunk size).
+        assignment = ledger.assign(0, 200)
+        assert assignment.byte_range == ByteRange(0, 200)
+
+    def test_partial_delivery_kept(self):
+        # HTTP bodies arrive in order: a prefix survives the failure.
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 400)
+        remainder = ledger.fail_assignment(0, bytes_delivered=150)
+        assert remainder == ByteRange(150, 400)
+        assert ledger.contiguous_frontier == 150
+        assert ledger.bytes_by_path[0] == 150
+
+    def test_fully_delivered_failure_is_noop(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 400)
+        assert ledger.fail_assignment(0, bytes_delivered=400) is None
+        assert ledger.contiguous_frontier == 400
+
+    def test_requeued_range_split_across_chunks(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 600)
+        ledger.fail_assignment(0)
+        first = ledger.assign(1, 250)
+        ledger.complete_assignment(1)
+        second = ledger.assign(1, 250)
+        assert first.byte_range == ByteRange(0, 250)
+        assert second.byte_range == ByteRange(250, 500)
+
+    def test_invalid_bytes_delivered_rejected(self):
+        ledger = ChunkLedger(1000)
+        ledger.assign(0, 100)
+        with pytest.raises(PlayerError):
+            ledger.fail_assignment(0, bytes_delivered=200)
+
+    def test_fail_without_assignment_rejected(self):
+        with pytest.raises(PlayerError):
+            ChunkLedger(100).fail_assignment(0)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["assign", "complete", "fail", "fail_partial"]),
+        st.integers(min_value=0, max_value=1),  # path id
+        st.integers(min_value=1, max_value=5000),  # size / partial bytes
+    ),
+    max_size=80,
+)
+
+
+class TestLedgerInvariantsProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=1, max_value=50_000), operations)
+    def test_random_walk_preserves_invariants(self, total, ops):
+        ledger = ChunkLedger(total)
+        for kind, path_id, amount in ops:
+            in_flight = ledger.in_flight_for(path_id)
+            if kind == "assign" and in_flight is None:
+                ledger.assign(path_id, amount)
+            elif kind == "complete" and in_flight is not None:
+                ledger.complete_assignment(path_id)
+            elif kind == "fail" and in_flight is not None:
+                ledger.fail_assignment(path_id)
+            elif kind == "fail_partial" and in_flight is not None:
+                partial = min(amount, in_flight.byte_range.length)
+                ledger.fail_assignment(path_id, bytes_delivered=partial)
+
+            assert 0 <= ledger.contiguous_frontier <= total
+            assert ledger.remaining_bytes >= 0
+            assert ledger.out_of_order_count <= 2  # two paths max
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=20_000), st.integers(min_value=1, max_value=3000))
+    def test_drain_to_completion_no_gaps_no_duplicates(self, total, chunk):
+        # Alternate paths, complete everything: exactly `total` bytes
+        # delivered once each.
+        ledger = ChunkLedger(total)
+        path = 0
+        while not ledger.complete:
+            assignment = ledger.assign(path, chunk)
+            if assignment is None:
+                # The other path must still hold the last piece.
+                other = 1 - path
+                if ledger.in_flight_for(other):
+                    ledger.complete_assignment(other)
+                path = other
+                continue
+            ledger.complete_assignment(path)
+            path = 1 - path
+        assert ledger.contiguous_frontier == total
+        assert sum(ledger.bytes_by_path.values()) == total

@@ -1,0 +1,141 @@
+"""Algorithm 1 (DCSA): every branch, plus hypothesis invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dcsa import MIN_CHUNK_BYTES, dynamic_chunk_size_adjustment
+from repro.errors import SchedulerError
+from repro.units import KB, MB
+
+BASE = 256 * KB
+
+
+def dcsa(current, other, est_self, est_other, measured, delta=0.05, base=BASE, **kwargs):
+    return dynamic_chunk_size_adjustment(
+        current_size=current,
+        other_size=other,
+        estimate_self=est_self,
+        estimate_other=est_other,
+        measured_self=measured,
+        delta=delta,
+        base_chunk=base,
+        **kwargs,
+    )
+
+
+class TestBranches:
+    def test_no_estimate_returns_base(self):
+        # "if ŵi not available then Si ← B".
+        assert dcsa(64 * KB, 512 * KB, None, 4000.0, 999.0) == BASE
+
+    def test_slow_path_doubles_on_improvement(self):
+        # wi > (1+δ)ŵi → Si ← 2·Si.
+        assert dcsa(64 * KB, 512 * KB, 1000.0, 4000.0, 1051.0) == 128 * KB
+
+    def test_slow_path_halves_on_decline(self):
+        # wi < (1−δ)ŵi → Si ← max{⌈Si/2⌉, 16KB}.
+        assert dcsa(64 * KB, 512 * KB, 1000.0, 4000.0, 949.0) == 32 * KB
+
+    def test_slow_path_floor_is_16kb(self):
+        assert dcsa(16 * KB, 512 * KB, 1000.0, 4000.0, 100.0) == 16 * KB
+        assert dcsa(20 * KB, 512 * KB, 1000.0, 4000.0, 100.0) == 16 * KB
+
+    def test_slow_path_holds_inside_band(self):
+        # (1−δ)ŵi ≤ wi ≤ (1+δ)ŵi → unchanged.
+        assert dcsa(64 * KB, 512 * KB, 1000.0, 4000.0, 1000.0) == 64 * KB
+        assert dcsa(64 * KB, 512 * KB, 1000.0, 4000.0, 1049.0) == 64 * KB
+        assert dcsa(64 * KB, 512 * KB, 1000.0, 4000.0, 951.0) == 64 * KB
+
+    def test_fast_path_gamma_multiple(self):
+        # γ = ⌈ŵi/ŵ1−i⌉, Si ← γ·S1−i.
+        assert dcsa(MB, 64 * KB, 4000.0, 1000.0, 4100.0) == 4 * 64 * KB
+
+    def test_fast_path_gamma_ceils(self):
+        assert dcsa(MB, 64 * KB, 4100.0, 1000.0, 4100.0) == 5 * 64 * KB
+
+    def test_equal_estimates_treated_as_fast(self):
+        # ŵi == ŵ1−i falls to the else branch: γ = 1.
+        assert dcsa(128 * KB, 64 * KB, 1000.0, 1000.0, 1000.0) == 64 * KB
+
+    def test_missing_other_estimate_gamma_one(self):
+        assert dcsa(128 * KB, 64 * KB, 1000.0, None, 1000.0) == 64 * KB
+
+    def test_max_chunk_clamp(self):
+        result = dcsa(MB, MB, 9000.0, 1000.0, 9000.0, max_chunk=2 * MB)
+        assert result == 2 * MB
+
+    def test_paper_has_no_max_clamp_by_default(self):
+        result = dcsa(MB, MB, 9000.0, 1000.0, 9000.0)
+        assert result == 9 * MB
+
+
+class TestValidation:
+    def test_delta_range(self):
+        with pytest.raises(SchedulerError):
+            dcsa(BASE, BASE, 1.0, 1.0, 1.0, delta=0.0)
+        with pytest.raises(SchedulerError):
+            dcsa(BASE, BASE, 1.0, 1.0, 1.0, delta=1.0)
+
+    def test_nonpositive_sizes(self):
+        with pytest.raises(SchedulerError):
+            dcsa(0, BASE, 1.0, 1.0, 1.0)
+        with pytest.raises(SchedulerError):
+            dcsa(BASE, 0, 1.0, 1.0, 1.0)
+
+    def test_nonpositive_measurement(self):
+        with pytest.raises(SchedulerError):
+            dcsa(BASE, BASE, 1.0, 1.0, 0.0)
+
+    def test_base_below_min_rejected(self):
+        with pytest.raises(SchedulerError):
+            dcsa(BASE, BASE, 1.0, 1.0, 1.0, base=1 * KB)
+
+
+sizes = st.integers(min_value=MIN_CHUNK_BYTES, max_value=64 * MB)
+rates = st.floats(min_value=1.0, max_value=1e9)
+maybe_rates = st.one_of(st.none(), rates)
+
+
+class TestInvariants:
+    @given(sizes, sizes, maybe_rates, maybe_rates, rates)
+    def test_result_at_least_min_chunk(self, current, other, est_self, est_other, measured):
+        result = dcsa(current, other, est_self, est_other, measured)
+        assert result >= MIN_CHUNK_BYTES
+
+    @given(sizes, sizes, rates, rates, rates)
+    def test_slow_path_changes_by_power_of_two_or_holds(
+        self, current, other, est_self, est_other, measured
+    ):
+        if est_self >= est_other:
+            return  # fast path; different invariant
+        result = dcsa(current, other, est_self, est_other, measured)
+        assert result in (
+            2 * current,
+            max(math.ceil(current / 2), MIN_CHUNK_BYTES),
+            current,
+        )
+
+    @given(sizes, sizes, rates, rates, rates)
+    def test_fast_path_is_integer_multiple_of_other(
+        self, current, other, est_self, est_other, measured
+    ):
+        if est_self < est_other:
+            return
+        result = dcsa(current, other, est_self, est_other, measured, max_chunk=None)
+        assert result % other == 0 or result == MIN_CHUNK_BYTES
+
+    @given(sizes, sizes, rates, rates, rates, st.integers(min_value=1, max_value=64))
+    def test_max_clamp_respected(self, current, other, est_self, est_other, measured, mb):
+        max_chunk = max(mb * MB, MIN_CHUNK_BYTES)
+        result = dcsa(
+            current, other, est_self, est_other, measured, max_chunk=max_chunk
+        )
+        assert MIN_CHUNK_BYTES <= result <= max(max_chunk, MIN_CHUNK_BYTES)
+
+    @given(sizes, sizes, maybe_rates, maybe_rates, rates)
+    def test_deterministic(self, current, other, est_self, est_other, measured):
+        a = dcsa(current, other, est_self, est_other, measured)
+        b = dcsa(current, other, est_self, est_other, measured)
+        assert a == b

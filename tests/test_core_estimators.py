@@ -1,0 +1,148 @@
+"""Bandwidth estimators: Eq. 1 (EWMA) and Eq. 2 (incremental harmonic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import harmonic_mean
+from repro.core.estimators import (
+    EWMAEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+    SlidingWindowEstimator,
+    make_estimator,
+)
+from repro.errors import ConfigError, SchedulerError
+
+positive_samples = st.lists(
+    st.floats(min_value=1.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+)
+
+
+class TestEWMA:
+    def test_first_sample_becomes_estimate(self):
+        estimator = EWMAEstimator(alpha=0.9)
+        estimator.update(1234.0)
+        assert estimator.estimate == 1234.0
+
+    def test_equation_one(self):
+        # ŵ(t+1) = α ŵ(t) + (1−α) w(t), α = 0.9 (§3.3).
+        estimator = EWMAEstimator(alpha=0.9)
+        estimator.update(100.0)
+        estimator.update(200.0)
+        assert estimator.estimate == pytest.approx(0.9 * 100.0 + 0.1 * 200.0)
+
+    def test_alpha_point_nine_is_sluggish(self):
+        # The paper's α=0.9 weighs history heavily: after a step change,
+        # the estimate moves less than 20 % of the way in one sample.
+        estimator = EWMAEstimator(alpha=0.9)
+        estimator.update(100.0)
+        estimator.update(1000.0)
+        assert estimator.estimate < 100.0 + 0.2 * 900.0
+
+    def test_none_before_samples(self):
+        assert EWMAEstimator().estimate is None
+
+    def test_reset(self):
+        estimator = EWMAEstimator()
+        estimator.update(5.0)
+        estimator.reset()
+        assert estimator.estimate is None and estimator.sample_count == 0
+
+    def test_invalid_alpha(self):
+        for alpha in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigError):
+                EWMAEstimator(alpha=alpha)
+
+    def test_nonpositive_sample_rejected(self):
+        with pytest.raises(SchedulerError):
+            EWMAEstimator().update(0.0)
+
+    @given(positive_samples, st.floats(min_value=0.05, max_value=0.95))
+    def test_estimate_within_sample_range(self, samples, alpha):
+        estimator = EWMAEstimator(alpha=alpha)
+        for sample in samples:
+            estimator.update(sample)
+        tolerance = 1e-9 * max(samples)
+        assert min(samples) - tolerance <= estimator.estimate <= max(samples) + tolerance
+
+
+class TestHarmonic:
+    def test_matches_batch_harmonic_mean(self):
+        estimator = HarmonicMeanEstimator()
+        samples = [100.0, 50.0, 200.0, 80.0]
+        for sample in samples:
+            estimator.update(sample)
+        assert estimator.estimate == pytest.approx(harmonic_mean(samples))
+
+    @given(positive_samples)
+    def test_equation_two_incremental_equals_batch(self, samples):
+        # The paper's memory-saving claim: Eq. 2's running update equals
+        # the definitional harmonic mean over the full history.
+        estimator = HarmonicMeanEstimator()
+        for sample in samples:
+            estimator.update(sample)
+        assert estimator.estimate == pytest.approx(harmonic_mean(samples), rel=1e-9)
+
+    def test_outlier_damping_vs_arithmetic(self):
+        # One 10x burst moves the harmonic mean far less than the
+        # arithmetic mean — the §3.3 rationale.
+        samples = [100.0] * 9 + [1000.0]
+        estimator = HarmonicMeanEstimator()
+        for sample in samples:
+            estimator.update(sample)
+        arithmetic = float(np.mean(samples))
+        assert estimator.estimate < arithmetic
+        assert estimator.estimate < 120.0  # stays near the base rate
+
+    def test_none_before_samples(self):
+        assert HarmonicMeanEstimator().estimate is None
+
+    def test_sample_count(self):
+        estimator = HarmonicMeanEstimator()
+        for value in (1.0, 2.0, 3.0):
+            estimator.update(value)
+        assert estimator.sample_count == 3
+
+    def test_reset(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.update(10.0)
+        estimator.reset()
+        estimator.update(99.0)
+        assert estimator.estimate == 99.0
+
+
+class TestOthers:
+    def test_last_sample(self):
+        estimator = LastSampleEstimator()
+        estimator.update(10.0)
+        estimator.update(20.0)
+        assert estimator.estimate == 20.0
+
+    def test_sliding_window_mean(self):
+        estimator = SlidingWindowEstimator(window=3)
+        for value in (10.0, 20.0, 30.0, 40.0):
+            estimator.update(value)
+        assert estimator.estimate == pytest.approx(30.0)  # last three
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            SlidingWindowEstimator(window=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["ewma", "harmonic", "last", "window"])
+    def test_registry(self, name):
+        assert make_estimator(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_estimator("kalman")
+
+    def test_parameters_forwarded(self):
+        estimator = make_estimator("ewma", alpha=0.5)
+        estimator.update(100.0)
+        estimator.update(200.0)
+        assert estimator.estimate == pytest.approx(150.0)

@@ -1,0 +1,101 @@
+"""QoE metrics accounting."""
+
+import pytest
+
+from repro.core.metrics import QoEMetrics
+
+
+class TestTrafficFractions:
+    def test_per_phase_fractions(self):
+        metrics = QoEMetrics()
+        metrics.record_chunk(0, 600, prebuffering=True)
+        metrics.record_chunk(1, 400, prebuffering=True)
+        metrics.record_chunk(0, 100, prebuffering=False)
+        metrics.record_chunk(1, 300, prebuffering=False)
+        assert metrics.traffic_fraction(0, "prebuffer") == pytest.approx(0.6)
+        assert metrics.traffic_fraction(0, "rebuffer") == pytest.approx(0.25)
+        assert metrics.traffic_fraction(0, "all") == pytest.approx(0.5)
+
+    def test_empty_phase_is_zero(self):
+        assert QoEMetrics().traffic_fraction(0, "prebuffer") == 0.0
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            QoEMetrics().traffic_fraction(0, "warmup")
+
+    def test_request_counting(self):
+        metrics = QoEMetrics()
+        metrics.record_chunk(0, 10, True)
+        metrics.record_chunk(0, 10, False)
+        assert metrics.requests_by_path == {0: 2}
+
+
+class TestStalls:
+    def test_stall_durations(self):
+        metrics = QoEMetrics()
+        metrics.begin_stall(10.0)
+        metrics.end_stall(12.5)
+        assert metrics.total_stall_time == pytest.approx(2.5)
+        assert len(metrics.stalls) == 1
+
+    def test_end_clamped_to_start(self):
+        metrics = QoEMetrics()
+        metrics.begin_stall(10.0)
+        metrics.end_stall(9.0)  # interpolated credit before the stall
+        assert metrics.total_stall_time == 0.0
+
+    def test_unmatched_end_ignored(self):
+        metrics = QoEMetrics()
+        metrics.end_stall(5.0)
+        assert metrics.stalls == []
+
+    def test_open_stall_not_counted(self):
+        metrics = QoEMetrics()
+        metrics.begin_stall(10.0)
+        assert metrics.total_stall_time == 0.0
+
+
+class TestCycles:
+    def test_cycle_durations(self):
+        metrics = QoEMetrics()
+        metrics.begin_rebuffer_cycle(30.0, level_s=9.5)
+        metrics.end_rebuffer_cycle(34.0)
+        metrics.begin_rebuffer_cycle(60.0, level_s=9.9)
+        metrics.end_rebuffer_cycle(63.0)
+        assert metrics.completed_cycle_durations() == [pytest.approx(4.0), pytest.approx(3.0)]
+
+    def test_open_cycle_excluded(self):
+        metrics = QoEMetrics()
+        metrics.begin_rebuffer_cycle(30.0, level_s=9.0)
+        assert metrics.completed_cycle_durations() == []
+
+
+class TestDerived:
+    def test_startup_delay(self):
+        metrics = QoEMetrics()
+        metrics.session_started_at = 2.0
+        metrics.playback_started_at = 9.5
+        assert metrics.startup_delay == pytest.approx(7.5)
+
+    def test_startup_delay_none_before_playback(self):
+        assert QoEMetrics().startup_delay is None
+
+    def test_summary_keys(self):
+        metrics = QoEMetrics()
+        metrics.record_chunk(0, 100, True)
+        summary = metrics.summary()
+        for key in (
+            "startup_delay_s",
+            "stall_count",
+            "rebuffer_cycles",
+            "prebuffer_fraction_path0",
+            "failovers",
+            "peak_out_of_order",
+        ):
+            assert key in summary
+
+    def test_first_video_byte_delay(self):
+        metrics = QoEMetrics()
+        metrics.path_bootstrap[1] = (1.0, 3.5)
+        assert metrics.first_video_byte_delay(1) == pytest.approx(2.5)
+        assert metrics.first_video_byte_delay(0) is None

@@ -1,0 +1,170 @@
+"""Chunk schedulers: Ratio baseline and DCSA with pluggable estimators."""
+
+import pytest
+
+from repro.core.config import PlayerConfig
+from repro.core.schedulers import DCSAScheduler, RatioScheduler, make_scheduler
+from repro.errors import ConfigError, SchedulerError
+from repro.units import KB, MB
+
+BASE = 256 * KB
+
+
+def record_rate(scheduler, path_id, rate, seconds=1.0):
+    """Record a chunk whose measured throughput is exactly ``rate``."""
+    scheduler.record(path_id, int(rate * seconds), seconds)
+
+
+@pytest.fixture
+def two_paths():
+    def build(name="ratio", **overrides):
+        config = PlayerConfig(scheduler=name, base_chunk_bytes=BASE, **overrides)
+        scheduler = make_scheduler(config)
+        scheduler.register_path(0)
+        scheduler.register_path(1)
+        return scheduler
+
+    return build
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["ratio", "ewma", "harmonic", "last", "window"])
+    def test_known_names(self, name):
+        assert make_scheduler(PlayerConfig(scheduler=name)).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_scheduler(PlayerConfig(scheduler="oracle"))
+
+    def test_harmonic_and_ewma_are_dcsa(self):
+        assert isinstance(make_scheduler(PlayerConfig(scheduler="harmonic")), DCSAScheduler)
+        assert isinstance(make_scheduler(PlayerConfig(scheduler="ewma")), DCSAScheduler)
+
+    def test_ratio_is_ratio(self):
+        assert isinstance(make_scheduler(PlayerConfig(scheduler="ratio")), RatioScheduler)
+
+
+class TestCommonBehaviour:
+    def test_initial_chunk_is_base(self, two_paths):
+        scheduler = two_paths("harmonic")
+        assert scheduler.chunk_size(0) == BASE
+        assert scheduler.chunk_size(1) == BASE
+
+    def test_unregistered_path_rejected(self, two_paths):
+        scheduler = two_paths()
+        with pytest.raises(SchedulerError):
+            scheduler.chunk_size(7)
+
+    def test_register_idempotent(self, two_paths):
+        scheduler = two_paths("harmonic")
+        record_rate(scheduler, 0, 1e6)
+        scheduler.register_path(0)  # must not clobber state
+        assert scheduler.estimate(0) is not None
+
+    def test_reset_path_rearms_base(self, two_paths):
+        scheduler = two_paths("harmonic")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)
+        record_rate(scheduler, 0, 4e6)
+        scheduler.reset_path(0)
+        assert scheduler.chunk_size(0) == BASE
+        assert scheduler.estimate(0) is None
+
+    def test_forget_path(self, two_paths):
+        scheduler = two_paths("harmonic")
+        scheduler.forget_path(1)
+        assert scheduler.paths() == [0]
+
+    def test_record_returns_throughput(self, two_paths):
+        scheduler = two_paths("harmonic")
+        assert scheduler.record(0, 1_000_000, 2.0) == pytest.approx(500_000.0)
+
+    def test_invalid_measurements_rejected(self, two_paths):
+        scheduler = two_paths()
+        with pytest.raises(SchedulerError):
+            scheduler.record(0, 0, 1.0)
+        with pytest.raises(SchedulerError):
+            scheduler.record(0, 100, 0.0)
+
+
+class TestRatioScheduler:
+    def test_slow_path_pinned_to_base(self, two_paths):
+        scheduler = two_paths("ratio")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)  # slower
+        assert scheduler.chunk_size(1) == BASE
+
+    def test_fast_path_scaled_by_ratio(self, two_paths):
+        # S_fast = w_fast/w_slow · B (§3.3).
+        scheduler = two_paths("ratio")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)
+        assert scheduler.chunk_size(0) == pytest.approx(4 * BASE, rel=0.01)
+
+    def test_responds_only_to_latest_samples(self, two_paths):
+        # Ratio has no memory: a single swapped measurement flips roles.
+        scheduler = two_paths("ratio")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)
+        record_rate(scheduler, 0, 0.5e6)  # path 0 collapses
+        assert scheduler.chunk_size(0) == BASE
+        assert scheduler.chunk_size(1) == pytest.approx(2 * BASE, rel=0.01)
+
+    def test_single_path_stays_at_base(self):
+        config = PlayerConfig(scheduler="ratio", base_chunk_bytes=BASE)
+        scheduler = make_scheduler(config)
+        scheduler.register_path(0)
+        record_rate(scheduler, 0, 5e6)
+        assert scheduler.chunk_size(0) == BASE
+
+    def test_clamped_to_max_chunk(self, two_paths):
+        scheduler = two_paths("ratio", max_chunk_bytes=1 * MB)
+        record_rate(scheduler, 0, 100e6)
+        record_rate(scheduler, 1, 1e6)
+        assert scheduler.chunk_size(0) == 1 * MB
+
+
+class TestDCSAScheduler:
+    def test_slow_path_doubles_on_sustained_improvement(self, two_paths):
+        scheduler = two_paths("harmonic")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)
+        size_before = scheduler.chunk_size(1)
+        record_rate(scheduler, 1, 1.5e6)  # 50 % above estimate
+        assert scheduler.chunk_size(1) == 2 * size_before
+
+    def test_slow_path_halves_on_decline(self, two_paths):
+        scheduler = two_paths("harmonic")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)
+        size_before = scheduler.chunk_size(1)
+        record_rate(scheduler, 1, 0.5e6)
+        assert scheduler.chunk_size(1) == max(size_before // 2, 16 * KB)
+
+    def test_fast_path_tracks_gamma_times_slow_chunk(self, two_paths):
+        scheduler = two_paths("harmonic")
+        record_rate(scheduler, 0, 4e6)
+        record_rate(scheduler, 1, 1e6)
+        record_rate(scheduler, 0, 4e6)
+        # γ = ⌈4/1⌉ = 4; slow chunk is base.
+        assert scheduler.chunk_size(0) == 4 * scheduler.chunk_size(1)
+
+    def test_ewma_uses_configured_alpha(self):
+        config = PlayerConfig(scheduler="ewma", alpha=0.5)
+        scheduler = make_scheduler(config)
+        scheduler.register_path(0)
+        record_rate(scheduler, 0, 1e6)
+        record_rate(scheduler, 0, 3e6)
+        assert scheduler.estimate(0) == pytest.approx(2e6)
+
+    def test_stable_throughput_keeps_sizes_stable(self, two_paths):
+        scheduler = two_paths("harmonic")
+        for _ in range(10):
+            record_rate(scheduler, 0, 4e6)
+            record_rate(scheduler, 1, 1e6)
+        assert scheduler.chunk_size(1) == BASE
+        assert scheduler.chunk_size(0) == 4 * BASE
+
+    def test_estimator_name_on_scheduler(self):
+        scheduler = make_scheduler(PlayerConfig(scheduler="window"))
+        assert scheduler.name == "window"

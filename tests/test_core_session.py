@@ -1,0 +1,283 @@
+"""PlayerSession: scripted event sequences against the sans-IO orchestrator."""
+
+import pytest
+
+from repro.core.config import PlayerConfig
+from repro.core.session import (
+    FetchChunk,
+    PathDead,
+    PlayerSession,
+    SessionDone,
+    StartBootstrap,
+    StartPlayback,
+    StreamDetails,
+)
+from repro.errors import PlayerError
+from repro.units import KB
+
+BITRATE = 100_000.0  # bytes/s, keeps the arithmetic readable
+DURATION = 100.0
+TOTAL = int(BITRATE * DURATION)
+
+
+def details(servers=("v0", "v1"), json_at=None):
+    return StreamDetails(
+        total_bytes=TOTAL,
+        bitrate_bytes_per_s=BITRATE,
+        duration_s=DURATION,
+        video_servers=tuple(servers),
+        json_completed_at=json_at,
+    )
+
+
+def make_session(prebuffer=10.0, low=None, refill=4.0, scheduler="harmonic", paths=2):
+    if low is None:
+        low = min(2.0, prebuffer / 4.0)
+    config = PlayerConfig(
+        prebuffer_s=prebuffer,
+        low_watermark_s=low,
+        rebuffer_fetch_s=refill,
+        scheduler=scheduler,
+        base_chunk_bytes=64 * KB,
+    )
+    specs = [("wlan0", "wifi-net"), ("wwan0", "lte-net")][:paths]
+    return PlayerSession(config, specs)
+
+
+def fetches(commands):
+    return [c for c in commands if isinstance(c, FetchChunk)]
+
+
+class TestStartAndBootstrap:
+    def test_start_bootstraps_all_paths(self):
+        session = make_session()
+        result = session.start(0.0)
+        assert [c.path_id for c in result.commands if isinstance(c, StartBootstrap)] == [0, 1]
+
+    def test_double_start_rejected(self):
+        session = make_session()
+        session.start(0.0)
+        with pytest.raises(PlayerError):
+            session.start(1.0)
+
+    def test_first_ready_path_fetches_immediately(self):
+        # The §3.2 head start: no waiting for the second path.
+        session = make_session()
+        session.start(0.0)
+        result = session.on_path_ready(0, details(), 1.0)
+        assert len(fetches(result.commands)) == 1
+        assert fetches(result.commands)[0].path_id == 0
+        assert fetches(result.commands)[0].server == "v0"
+
+    def test_second_path_joins_rotation(self):
+        session = make_session()
+        session.start(0.0)
+        session.on_path_ready(0, details(), 1.0)
+        result = session.on_path_ready(1, details(servers=("w0",)), 2.0)
+        assert fetches(result.commands)[0].path_id == 1
+
+    def test_mismatched_sizes_rejected(self):
+        session = make_session()
+        session.start(0.0)
+        session.on_path_ready(0, details(), 1.0)
+        bad = StreamDetails(TOTAL + 1, BITRATE, DURATION, ("w0",))
+        with pytest.raises(PlayerError):
+            session.on_path_ready(1, bad, 2.0)
+
+    def test_first_chunk_starts_at_byte_zero(self):
+        session = make_session()
+        session.start(0.0)
+        result = session.on_path_ready(0, details(), 1.0)
+        assert fetches(result.commands)[0].byte_range.start == 0
+
+
+class TestChunkFlow:
+    def run_bootstrap(self, session):
+        session.start(0.0)
+        first = session.on_path_ready(0, details(), 1.0)
+        second = session.on_path_ready(1, details(servers=("w0",)), 1.5)
+        return fetches(first.commands) + fetches(second.commands)
+
+    def complete(self, session, fetch, now, duration=0.5):
+        return session.on_chunk_complete(
+            fetch.path_id, fetch.byte_range.length, duration, now
+        )
+
+    def test_completion_chains_next_fetch(self):
+        session = make_session()
+        pending = self.run_bootstrap(session)
+        result = self.complete(session, pending[0], now=2.0)
+        next_fetches = fetches(result.commands)
+        assert len(next_fetches) == 1
+        assert next_fetches[0].path_id == pending[0].path_id
+        # Contiguous extension: starts where assignment frontier left off.
+        assert next_fetches[0].byte_range.start >= pending[0].byte_range.stop
+
+    def test_playback_starts_at_prebuffer_target(self):
+        session = make_session(prebuffer=1.0, paths=1)  # 1 s = 100 kB
+        session.start(0.0)
+        pending = fetches(session.on_path_ready(0, details(), 1.0).commands)
+        commands = []
+        now = 2.0
+        while not session.playback_started:
+            result = self.complete(session, pending[0], now=now)
+            commands = result.commands
+            pending = fetches(result.commands) or pending
+            now += 0.5
+        assert any(isinstance(c, StartPlayback) for c in commands)
+        assert session.metrics.playback_started_at is not None
+
+    def test_fetch_pauses_when_buffer_full(self):
+        session = make_session(prebuffer=1.0)
+        pending = self.run_bootstrap(session)
+        now = 2.0
+        # Feed chunks until fetching turns OFF.
+        active = {f.path_id: f for f in pending}
+        while True:
+            fetch = active.pop(0, None) or active.pop(1, None)
+            if fetch is None:
+                break
+            result = self.complete(session, fetch, now=now)
+            for f in fetches(result.commands):
+                active[f.path_id] = f
+            now += 0.3
+        assert session.buffer is not None and not session.buffer.fetch_on
+
+    def test_tick_reopens_fetching(self):
+        session = make_session(prebuffer=1.0, low=0.5, refill=1.0, paths=1)
+        session.start(0.0)
+        pending = fetches(session.on_path_ready(0, details(), 1.0).commands)
+        now = 2.0
+        while pending:
+            result = self.complete(session, pending[0], now=now)
+            pending = fetches(result.commands)
+            now += 0.3
+        assert not session.buffer.fetch_on
+        # Drain the buffer below the watermark via playback ticks.
+        result = session.on_tick(dt=2.0, now=now + 2.0)
+        assert fetches(result.commands), "ON cycle should hand out chunks"
+
+    def test_out_of_order_completion_tracked(self):
+        session = make_session()
+        pending = self.run_bootstrap(session)
+        # Complete the second path's (later) range first.
+        later = max(pending, key=lambda f: f.byte_range.start)
+        self.complete(session, later, now=2.0)
+        assert session.ledger.out_of_order_count == 1
+
+    def test_interpolated_crossing_backdates_playback_start(self):
+        # One chunk covering 2 s of video, delivered over [2.0, 4.0];
+        # the 1 s pre-buffer target is crossed halfway through the
+        # transfer, so playback start is credited at t = 3.0.
+        config = PlayerConfig(
+            prebuffer_s=1.0,
+            low_watermark_s=0.25,
+            rebuffer_fetch_s=1.0,
+            base_chunk_bytes=2 * int(BITRATE),
+        )
+        session = PlayerSession(config, [("wlan0", "wifi-net")])
+        session.start(0.0)
+        result = session.on_path_ready(0, details(), 1.0)
+        fetch = fetches(result.commands)[0]
+        assert fetch.byte_range.length == 2 * int(BITRATE)
+        session.on_chunk_complete(
+            0, fetch.byte_range.length, 2.0, now=4.0, first_byte_at=2.0
+        )
+        assert session.metrics.playback_started_at == pytest.approx(3.0, abs=0.05)
+
+
+class TestFailover:
+    def boot(self, session, servers=("v0", "v1")):
+        session.start(0.0)
+        result = session.on_path_ready(0, details(servers=servers), 1.0)
+        return fetches(result.commands)[0]
+
+    def test_chunk_failure_triggers_failover_bootstrap(self):
+        session = make_session(paths=1)
+        self.boot(session)
+        result = session.on_chunk_failed(0, 0, now=2.0, reason="reset")
+        bootstraps = [c for c in result.commands if isinstance(c, StartBootstrap)]
+        assert bootstraps and bootstraps[0].server == "v1"
+        assert session.metrics.failovers == 1
+
+    def test_failed_bytes_requeued_for_survivor(self):
+        session = make_session()
+        session.start(0.0)
+        first = fetches(session.on_path_ready(0, details(), 1.0).commands)[0]
+        path1_fetch = fetches(
+            session.on_path_ready(1, details(servers=("w0",)), 1.5).commands
+        )[0]
+        # Path 0 dies mid-chunk while path 1 is still transferring.
+        session.on_chunk_failed(0, 0, now=2.0, reason="reset", interface_down=True)
+        # When path 1 completes, its next assignment must be the
+        # requeued range (resume at the break point, §2).
+        result = session.on_chunk_complete(
+            1, path1_fetch.byte_range.length, 0.5, now=2.5
+        )
+        next_fetch = fetches(result.commands)[0]
+        assert next_fetch.path_id == 1
+        assert next_fetch.byte_range.start == first.byte_range.start
+
+    def test_interface_down_kills_path(self):
+        session = make_session()
+        self.boot(session)
+        session.on_path_ready(1, details(servers=("w0",)), 1.5)
+        result = session.on_chunk_failed(0, 0, now=2.0, interface_down=True)
+        dead = [c for c in result.commands if isinstance(c, PathDead)]
+        assert dead and dead[0].reason == "interface-down"
+        assert not session.paths[0].alive
+
+    def test_sources_exhausted_kills_path(self):
+        session = make_session(paths=1)
+        self.boot(session, servers=("only",))
+        session.on_chunk_failed(0, 0, now=2.0)  # strike 1: retry same
+        result = session.on_chunk_failed(0, 0, now=3.0)  # strike 2: out
+        kinds = [type(c).__name__ for c in result.commands]
+        assert "PathDead" in kinds
+        assert "SessionDone" in kinds  # single path: session over
+
+    def test_interface_up_revives_path(self):
+        session = make_session()
+        self.boot(session)
+        session.on_path_ready(1, details(servers=("w0",)), 1.5)
+        session.on_chunk_failed(0, 0, now=2.0, interface_down=True)
+        result = session.on_interface_up(0, now=10.0)
+        assert any(isinstance(c, StartBootstrap) for c in result.commands)
+        assert session.paths[0].phase.value == "bootstrapping"
+
+    def test_interface_up_on_live_path_is_noop(self):
+        session = make_session()
+        self.boot(session)
+        assert session.on_interface_up(0, now=5.0).commands == []
+
+
+class TestCompletion:
+    def test_full_download_and_playback_finish(self):
+        session = make_session(prebuffer=1.0, paths=1)
+        session.start(0.0)
+        result = session.on_path_ready(0, details(), 1.0)
+        now = 1.0
+        pending = fetches(result.commands)
+        while not session.ledger.complete:
+            if pending:
+                now += 0.2
+                result = session.on_chunk_complete(
+                    0, pending[0].byte_range.length, 0.2, now
+                )
+                pending = fetches(result.commands)
+            else:
+                # Buffer is full (fetch OFF): play it down until the
+                # next ON cycle hands out work.
+                now += 1.0
+                result = session.on_tick(1.0, now)
+                pending = fetches(result.commands)
+        assert session.ledger.complete
+        assert session.buffer.download_complete
+        # Play the rest out.
+        done = []
+        while not session.done:
+            now += 5.0
+            result = session.on_tick(5.0, now)
+            done.extend(c for c in result.commands if isinstance(c, SessionDone))
+        assert done
+        assert session.metrics.playback_finished_at is not None

@@ -1,0 +1,52 @@
+"""Examples must stay runnable: each is executed as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 180.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "7")
+        assert "start-up delay" in output
+        assert "traffic over WiFi" in output
+
+    def test_youtube_startup_small(self):
+        output = run_example("youtube_startup.py", "3")
+        assert "MSPlayer" in output
+        assert "pre-buffer 60 s" in output
+
+    def test_mobility_robustness(self):
+        output = run_example("mobility_robustness.py", "2")
+        assert "WiFi outage" in output
+        assert "Single-path WiFi baseline" in output
+
+    def test_scheduler_playground(self):
+        output = run_example("scheduler_playground.py")
+        assert "harmonic" in output
+        assert "estimates after the trace" in output
+
+    def test_adaptive_streaming(self):
+        output = run_example("adaptive_streaming.py", "1")
+        assert "fixed 720p" in output
+        assert "legend" in output
+
+    def test_live_loopback(self):
+        output = run_example("live_loopback.py", timeout=120.0)
+        assert "loopback CDN up" in output
+        assert "start-up delay" in output

@@ -1,0 +1,136 @@
+"""Adaptive-bitrate extension: controllers and the segment driver."""
+
+import pytest
+
+from repro.cdn.videos import FORMATS
+from repro.core.config import PlayerConfig
+from repro.errors import ConfigError
+from repro.ext.adaptive import (
+    AdaptiveSimDriver,
+    BufferBasedController,
+    FixedBitrateController,
+    ThroughputController,
+)
+from repro.sim.profiles import testbed_profile
+from repro.sim.scenario import Scenario, ScenarioConfig
+
+LADDER = [18, 22, 37]  # ascending bitrate
+
+
+class TestControllers:
+    def test_fixed_always_returns_itag(self):
+        controller = FixedBitrateController(22)
+        assert controller.select(LADDER, 0.0, None, 18) == 22
+        assert controller.select(LADDER, 100.0, 1e9, 37) == 22
+
+    def test_fixed_requires_itag_in_ladder(self):
+        with pytest.raises(ConfigError):
+            FixedBitrateController(45).select(LADDER, 0.0, None, 18)
+
+    def test_buffer_based_reservoir_floor(self):
+        controller = BufferBasedController(reservoir_s=8.0, cushion_s=24.0)
+        assert controller.select(LADDER, 4.0, None, 22) == 18
+
+    def test_buffer_based_cushion_ceiling(self):
+        controller = BufferBasedController(reservoir_s=8.0, cushion_s=24.0)
+        assert controller.select(LADDER, 30.0, None, 18) == 37
+
+    def test_buffer_based_linear_middle(self):
+        controller = BufferBasedController(reservoir_s=8.0, cushion_s=24.0)
+        # Two-thirds of the way up the cushion: the middle rung.
+        assert controller.select(LADDER, 16.0, None, 18) == 22
+
+    def test_buffer_based_validation(self):
+        with pytest.raises(ConfigError):
+            BufferBasedController(reservoir_s=10.0, cushion_s=5.0)
+
+    def test_throughput_no_estimate_floor(self):
+        assert ThroughputController().select(LADDER, 10.0, None, 22) == 18
+
+    def test_throughput_picks_highest_sustainable(self):
+        controller = ThroughputController(safety=1.0)
+        rate_22 = FORMATS[22].total_bitrate_bytes_per_s
+        assert controller.select(LADDER, 10.0, rate_22 * 1.01, 18) == 22
+
+    def test_throughput_safety_margin(self):
+        # At safety 0.5, an estimate exactly at the 720p rate affords
+        # only the lower rung.
+        controller = ThroughputController(safety=0.5)
+        rate_22 = FORMATS[22].total_bitrate_bytes_per_s
+        assert controller.select(LADDER, 10.0, rate_22, 18) == 18
+
+    def test_throughput_floor_when_nothing_fits(self):
+        assert ThroughputController().select(LADDER, 10.0, 1.0, 22) == LADDER[0]
+
+    def test_throughput_validation(self):
+        with pytest.raises(ConfigError):
+            ThroughputController(safety=0.0)
+
+
+def quick_config():
+    return PlayerConfig(prebuffer_s=8.0, low_watermark_s=4.0, rebuffer_fetch_s=6.0)
+
+
+def make_driver(controller, seed=9, duration=60.0, **kwargs):
+    scenario = Scenario(
+        testbed_profile(), seed=seed, config=ScenarioConfig(video_duration_s=duration)
+    )
+    return AdaptiveSimDriver(
+        scenario, controller, quick_config(), stop=kwargs.pop("stop", "full"),
+        max_sim_time=kwargs.pop("max_sim_time", 400.0), **kwargs
+    )
+
+
+class TestAdaptiveDriver:
+    def test_fixed_controller_never_switches(self):
+        outcome = make_driver(FixedBitrateController(22)).run()
+        assert outcome.stop_reason == "playback-finished"
+        assert outcome.switches == 0
+        assert set(outcome.itag_history) == {22}
+
+    def test_all_segments_fetched(self):
+        outcome = make_driver(FixedBitrateController(18), duration=47.0).run()
+        # 47 s at 4 s segments = 12 segments.
+        assert len(outcome.itag_history) == 12
+
+    def test_throughput_controller_upshifts_on_fast_link(self):
+        # The testbed aggregate (~17.5 Mb/s) sustains 1080p easily:
+        # after the warm-up segment the controller rides the top rung.
+        outcome = make_driver(ThroughputController(), duration=80.0).run()
+        assert outcome.time_at_itag(37) > 0.5
+        assert outcome.metrics.total_stall_time == 0.0
+
+    def test_mean_bitrate_between_ladder_ends(self):
+        outcome = make_driver(ThroughputController(), duration=80.0).run()
+        low = FORMATS[18].total_bitrate_bytes_per_s * 8
+        high = FORMATS[37].total_bitrate_bytes_per_s * 8
+        assert low <= outcome.mean_bitrate_bps <= high
+
+    def test_prebuffer_stop(self):
+        outcome = make_driver(FixedBitrateController(22), stop="prebuffer").run()
+        assert outcome.stop_reason == "prebuffer-complete"
+        assert outcome.metrics.startup_delay is not None
+
+    def test_deterministic_given_seed(self):
+        a = make_driver(ThroughputController(), seed=4).run()
+        b = make_driver(ThroughputController(), seed=4).run()
+        assert a.itag_history == b.itag_history
+        assert a.finished_at == b.finished_at
+
+    def test_both_paths_fetch_segments(self):
+        outcome = make_driver(FixedBitrateController(22), duration=80.0).run()
+        assert set(outcome.metrics.requests_by_path) == {0, 1}
+
+    def test_invalid_segment_duration(self):
+        scenario = Scenario(
+            testbed_profile(), seed=1, config=ScenarioConfig(video_duration_s=30.0)
+        )
+        with pytest.raises(ConfigError):
+            AdaptiveSimDriver(scenario, FixedBitrateController(22), segment_s=0.0)
+
+    def test_invalid_stop(self):
+        scenario = Scenario(
+            testbed_profile(), seed=1, config=ScenarioConfig(video_duration_s=30.0)
+        )
+        with pytest.raises(ValueError):
+            AdaptiveSimDriver(scenario, FixedBitrateController(22), stop="cycles")

@@ -1,0 +1,78 @@
+"""Energy model (EXP-X7 substrate)."""
+
+import pytest
+
+from repro.core.metrics import QoEMetrics
+from repro.errors import ConfigError
+from repro.ext.energy import (
+    EnergyModel,
+    InterfaceEnergyProfile,
+    LTE_ENERGY,
+    WIFI_ENERGY,
+)
+
+
+def metrics_with(path_bytes: dict[int, int], active: dict[int, float], cycles: int = 0):
+    metrics = QoEMetrics()
+    for path_id, num_bytes in path_bytes.items():
+        metrics.record_chunk(path_id, num_bytes, prebuffering=True, duration=active.get(path_id, 0.0))
+    for i in range(cycles):
+        metrics.begin_rebuffer_cycle(10.0 * i, 9.0)
+        metrics.end_rebuffer_cycle(10.0 * i + 3.0)
+    return metrics
+
+
+class TestProfiles:
+    def test_lte_tail_dominates_wifi(self):
+        assert LTE_ENERGY.tail_time_s > 10 * WIFI_ENERGY.tail_time_s
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ConfigError):
+            InterfaceEnergyProfile("x", -1.0, 0.0, 0.0, 0.0)
+
+
+class TestEnergyModel:
+    def test_active_component(self):
+        metrics = metrics_with({0: 1024 * 1024}, {0: 10.0})
+        report = EnergyModel({0: WIFI_ENERGY}).report(metrics)
+        breakdown = report.breakdown_by_path[0]
+        assert breakdown["active"] == pytest.approx(WIFI_ENERGY.active_power_w * 10.0)
+        assert breakdown["data"] == pytest.approx(WIFI_ENERGY.joules_per_mb)
+
+    def test_tail_charged_per_burst(self):
+        no_cycles = metrics_with({1: 1024}, {1: 1.0}, cycles=0)
+        with_cycles = metrics_with({1: 1024}, {1: 1.0}, cycles=3)
+        model = EnergyModel({1: LTE_ENERGY})
+        delta = (
+            model.report(with_cycles).joules_by_path[1]
+            - model.report(no_cycles).joules_by_path[1]
+        )
+        assert delta == pytest.approx(3 * LTE_ENERGY.tail_power_w * LTE_ENERGY.tail_time_s)
+
+    def test_idle_path_costs_nothing(self):
+        metrics = metrics_with({0: 2048}, {0: 1.0})
+        report = EnergyModel().report(metrics)  # default includes LTE
+        assert 1 not in report.joules_by_path
+
+    def test_total_is_sum(self):
+        metrics = metrics_with({0: 1024, 1: 1024}, {0: 1.0, 1: 1.0})
+        report = EnergyModel().report(metrics)
+        assert report.total_joules == pytest.approx(sum(report.joules_by_path.values()))
+
+    def test_dual_radio_costs_more_than_wifi_alone(self):
+        metrics = metrics_with({0: 10 * 1024 * 1024, 1: 6 * 1024 * 1024}, {0: 8.0, 1: 8.0})
+        dual = EnergyModel().report(metrics).total_joules
+        wifi_only_metrics = metrics_with({0: 16 * 1024 * 1024}, {0: 13.0})
+        wifi_only = EnergyModel({0: WIFI_ENERGY}).report(wifi_only_metrics).total_joules
+        assert dual > wifi_only
+
+    def test_joules_per_megabyte(self):
+        metrics = metrics_with({0: 2 * 1024 * 1024}, {0: 2.0})
+        report = EnergyModel({0: WIFI_ENERGY}).report(metrics)
+        assert report.joules_per_megabyte(metrics) == pytest.approx(
+            report.total_joules / 2.0
+        )
+
+    def test_joules_per_megabyte_empty_session_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyModel().report(QoEMetrics()).joules_per_megabyte(QoEMetrics())

@@ -1,0 +1,63 @@
+"""Multi-client shared-CDN experiments."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ext.multi_client import MultiClientExperiment
+from repro.sim.profiles import testbed_profile
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return MultiClientExperiment(
+        testbed_profile,
+        client_count=3,
+        video_duration_s=90.0,
+        overload_threshold=2,
+        seed=11,
+    )
+
+
+class TestMultiClient:
+    def test_all_clients_complete(self, experiment):
+        result = experiment.run("static")
+        assert len(result.outcomes) == 3
+        assert len(result.startup_delays()) == 3
+
+    def test_static_concentrates_load(self, experiment):
+        result = experiment.run("static")
+        # 4 video servers total, all traffic on 2 (one per network).
+        zero_servers = [k for k, v in result.server_bytes.items() if v == 0]
+        assert len(zero_servers) == 2
+        assert result.load_imbalance > 1.5
+
+    def test_rotate_spreads_load(self, experiment):
+        static = experiment.run("static")
+        rotate = experiment.run("rotate")
+        assert rotate.load_imbalance < static.load_imbalance
+
+    def test_clients_have_independent_links(self, experiment):
+        # Different clients see different (seeded) link draws, so their
+        # start-up delays differ.
+        result = experiment.run("static")
+        delays = result.startup_delays()
+        assert len(set(round(d, 6) for d in delays)) > 1
+
+    def test_reproducible(self):
+        def run():
+            return MultiClientExperiment(
+                testbed_profile, client_count=2, video_duration_s=60.0, seed=5
+            ).run("rotate")
+
+        a, b = run(), run()
+        assert sorted(a.startup_delays()) == sorted(b.startup_delays())
+        assert a.server_bytes == b.server_bytes
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ConfigError):
+            MultiClientExperiment(testbed_profile, client_count=0)
+
+    def test_imbalance_of_empty_result(self, experiment):
+        from repro.ext.multi_client import MultiClientResult
+
+        assert MultiClientResult(policy="x").load_imbalance == 0.0

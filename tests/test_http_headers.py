@@ -1,0 +1,108 @@
+"""Case-insensitive header multimap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HTTPParseError
+from repro.http.headers import Headers
+
+header_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-",
+    min_size=1,
+    max_size=24,
+)
+header_values = st.text(
+    alphabet=st.characters(blacklist_characters="\r\n", min_codepoint=32, max_codepoint=126),
+    max_size=64,
+)
+
+
+class TestBasics:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "video/mp4")])
+        assert headers["CONTENT-TYPE"] == "video/mp4"
+        assert headers.get("content-type") == "video/mp4"
+
+    def test_original_spelling_preserved(self):
+        headers = Headers([("X-WeIrD", "v")])
+        assert list(headers) == [("X-WeIrD", "v")]
+
+    def test_get_default(self):
+        assert Headers().get("missing", "-") == "-"
+
+    def test_getitem_keyerror(self):
+        with pytest.raises(KeyError):
+            Headers()["nope"]
+
+    def test_add_keeps_duplicates(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get_all("x") == ["3"]
+
+    def test_remove(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        headers.remove("a")
+        assert "A" not in headers and "B" in headers
+
+    def test_contains_and_len(self):
+        headers = Headers([("A", "1")])
+        assert "a" in headers and len(headers) == 1
+
+    def test_get_int(self):
+        assert Headers([("Content-Length", " 42 ")]).get_int("content-length") == 42
+
+    def test_get_int_missing_is_none(self):
+        assert Headers().get_int("content-length") is None
+
+    def test_get_int_garbage_raises(self):
+        with pytest.raises(HTTPParseError):
+            Headers([("Content-Length", "many")]).get_int("content-length")
+
+    def test_equality_case_insensitive_names(self):
+        assert Headers([("A", "1")]) == Headers([("a", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        clone = original.copy()
+        clone.set("A", "2")
+        assert original["A"] == "1"
+
+
+class TestValidation:
+    def test_crlf_injection_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Headers([("X", "evil\r\nInjected: yes")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Headers([("", "v")])
+
+    def test_colon_in_name_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Headers([("a:b", "v")])
+
+    def test_space_in_name_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Headers([("a b", "v")])
+
+
+class TestWire:
+    def test_encode_format(self):
+        headers = Headers([("Host", "example"), ("Range", "bytes=0-1")])
+        assert headers.encode() == b"Host: example\r\nRange: bytes=0-1\r\n"
+
+    def test_wire_size_matches_encode(self):
+        headers = Headers([("Host", "example"), ("A", ""), ("Long-Header", "x" * 50)])
+        assert headers.wire_size() == len(headers.encode())
+
+    @given(st.lists(st.tuples(header_names, header_values), max_size=8))
+    def test_wire_size_always_matches_encode(self, items):
+        headers = Headers(items)
+        assert headers.wire_size() == len(headers.encode())

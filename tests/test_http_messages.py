@@ -1,0 +1,104 @@
+"""Request/Response model: construction, wire sizes, conveniences."""
+
+import pytest
+
+from repro.errors import HTTPParseError
+from repro.http.messages import Request, Response
+from repro.http.ranges import ByteRange
+
+
+class TestRequest:
+    def test_get_builder_sets_expected_headers(self):
+        request = Request.get("/video", "cdn.example", ByteRange(0, 65536))
+        assert request.headers["Host"] == "cdn.example"
+        assert request.headers["Range"] == "bytes=0-65535"
+        assert request.headers["Connection"] == "keep-alive"
+
+    def test_get_without_range(self):
+        request = Request.get("/video", "cdn.example")
+        assert "Range" not in request.headers
+
+    def test_extra_headers_underscore_to_dash(self):
+        request = Request.get("/x", "h", X_Client_Address="1.2.3.4")
+        assert request.headers["X-Client-Address"] == "1.2.3.4"
+
+    def test_query_parsing(self):
+        request = Request("GET", "/videoplayback?v=abc&itag=22&empty")
+        assert request.query == {"v": "abc", "itag": "22", "empty": ""}
+        assert request.path == "/videoplayback"
+
+    def test_no_query(self):
+        assert Request("GET", "/plain").query == {}
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Request("BREW", "/coffee")
+
+    def test_non_origin_form_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Request("GET", "http://absolute.example/x")
+
+    def test_body_sets_content_length(self):
+        request = Request("POST", "/submit", body=b"hello")
+        assert request.headers["Content-Length"] == "5"
+
+    def test_wire_size_matches_encode(self):
+        request = Request.get("/videoplayback?v=abc", "cdn.example", ByteRange(0, 100))
+        assert request.wire_size() == len(request.encode())
+
+    def test_encode_starts_with_request_line(self):
+        request = Request("GET", "/x")
+        assert request.encode().startswith(b"GET /x HTTP/1.1\r\n")
+
+
+class TestResponse:
+    def test_json_roundtrip(self):
+        response = Response.json({"a": 1, "b": [1, 2]})
+        assert response.status == 200
+        assert response.parsed_json() == {"a": 1, "b": [1, 2]}
+        assert response.headers["Content-Type"] == "application/json"
+
+    def test_bad_json_raises(self):
+        response = Response(200, body=b"not json{")
+        with pytest.raises(HTTPParseError):
+            response.parsed_json()
+
+    def test_partial_content_virtual_body(self):
+        response = Response.partial_content(ByteRange(1024, 5120), 100_000)
+        assert response.status == 206
+        assert response.body_size == 4096
+        assert response.body == b""
+        assert response.headers["Content-Range"] == "bytes 1024-5119/100000"
+        assert response.headers["Content-Length"] == "4096"
+
+    def test_error_builder(self):
+        response = Response.error(404, "gone")
+        assert response.status == 404
+        assert not response.ok
+        assert response.body == b"gone"
+
+    def test_reason_from_table(self):
+        assert Response(206).reason == "Partial Content"
+
+    def test_wire_size_includes_virtual_body(self):
+        response = Response.partial_content(ByteRange(0, 4096), 100_000)
+        assert response.wire_size() == response.header_wire_size() + 4096
+
+    def test_header_wire_size_matches_real_encode(self):
+        response = Response(200, body=b"payload")
+        encoded = response.encode()
+        assert len(encoded) == response.header_wire_size() + 7
+
+    def test_encode_with_virtual_body_mismatch_rejected(self):
+        response = Response(200, body=b"abc", body_size=3)
+        response.body_size = 10  # corrupt it
+        with pytest.raises(HTTPParseError):
+            response.encode()
+
+    def test_negative_body_size_rejected(self):
+        with pytest.raises(HTTPParseError):
+            Response(200, body_size=-1)
+
+    def test_ok_range(self):
+        assert Response(204).ok
+        assert not Response(500).ok

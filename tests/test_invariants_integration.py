@@ -1,0 +1,114 @@
+"""Cross-cutting invariants over full simulated sessions.
+
+These are the checks that catch subtle integration bugs: byte
+conservation between the ledger, the metrics, and the CDN's serving
+records; monotonicity of the playhead; and scheduler-independent
+correctness of the reassembled stream.
+"""
+
+import pytest
+
+from repro.core.config import PlayerConfig
+from repro.sim.driver import MSPlayerDriver
+from repro.sim.profiles import testbed_profile, youtube_profile
+from repro.sim.scenario import Scenario, ScenarioConfig
+from repro.units import KB
+
+
+def run_session(seed=1, profile=testbed_profile, stop="cycles", **config_kwargs):
+    scenario = Scenario(
+        profile(), seed=seed, config=ScenarioConfig(video_duration_s=150.0)
+    )
+    driver = MSPlayerDriver(
+        scenario, PlayerConfig(**config_kwargs), stop=stop, target_cycles=2
+    )
+    outcome = driver.run()
+    return scenario, driver, outcome
+
+
+class TestByteConservation:
+    @pytest.mark.parametrize("scheduler", ["harmonic", "ewma", "ratio"])
+    def test_metrics_equal_ledger_bytes(self, scheduler):
+        _, driver, outcome = run_session(seed=3, scheduler=scheduler)
+        ledger = driver.session.ledger
+        metrics = outcome.metrics
+        for path_id in driver.session.paths:
+            recorded = metrics.prebuffer_bytes_by_path.get(
+                path_id, 0
+            ) + metrics.rebuffer_bytes_by_path.get(path_id, 0)
+            assert recorded == ledger.bytes_by_path.get(path_id, 0)
+
+    def test_servers_served_at_least_delivered_bytes(self):
+        _, driver, outcome = run_session(seed=4)
+        delivered = sum(driver.session.ledger.bytes_by_path.values())
+        served = sum(outcome.server_bytes.values())
+        # Server counts include JSON/decoder bodies too, hence >=.
+        assert served >= delivered
+
+    def test_frontier_never_exceeds_total(self):
+        _, driver, _ = run_session(seed=5)
+        ledger = driver.session.ledger
+        assert 0 <= ledger.contiguous_frontier <= ledger.total_bytes
+
+    def test_no_byte_fetched_twice_without_failure(self):
+        _, driver, outcome = run_session(seed=6)
+        if outcome.metrics.failovers == 0:
+            ledger = driver.session.ledger
+            in_flight = sum(
+                a.byte_range.length
+                for a in (
+                    ledger.in_flight_for(p) for p in driver.session.paths
+                )
+                if a is not None
+            )
+            delivered = sum(ledger.bytes_by_path.values())
+            # Everything delivered + still in flight fits in the file.
+            assert delivered <= ledger.total_bytes
+            assert delivered + in_flight <= ledger.total_bytes + in_flight
+
+
+class TestPlaybackSanity:
+    def test_playhead_monotone_nonnegative(self):
+        _, driver, _ = run_session(seed=7, stop="full")
+        buffer = driver.session.buffer
+        assert 0.0 <= buffer.playhead_s <= buffer.video_duration_s + 1e-9
+
+    def test_no_stalls_on_healthy_links(self):
+        for seed in range(3):
+            _, _, outcome = run_session(seed=seed, stop="full")
+            assert outcome.metrics.total_stall_time == pytest.approx(0.0, abs=0.3)
+
+    def test_startup_delay_bounded_below_by_bootstrap(self):
+        _, _, outcome = run_session(seed=8)
+        # Cannot start playback before the fast path's first video byte.
+        assert outcome.startup_delay > outcome.path_first_video_delay[0]
+
+    def test_cycle_durations_positive(self):
+        _, _, outcome = run_session(seed=9, profile=youtube_profile)
+        for duration in outcome.metrics.completed_cycle_durations():
+            assert duration >= 0.0
+
+
+class TestSchedulerIndependence:
+    """Whatever the scheduler does, the stream must reassemble correctly."""
+
+    @pytest.mark.parametrize("scheduler", ["harmonic", "ewma", "ratio", "last", "window"])
+    @pytest.mark.parametrize("chunk_kb", [16, 256])
+    def test_every_scheduler_completes_prebuffer(self, scheduler, chunk_kb):
+        _, driver, outcome = run_session(
+            seed=11,
+            stop="prebuffer",
+            scheduler=scheduler,
+            base_chunk_bytes=chunk_kb * KB,
+        )
+        assert outcome.stop_reason == "prebuffer-complete"
+        ledger = driver.session.ledger
+        # The contiguous frontier covers at least the pre-buffer amount.
+        needed = driver.session.buffer.config.prebuffer_s * driver.session._bitrate_()
+        assert ledger.contiguous_frontier >= needed * 0.99
+
+    @pytest.mark.parametrize("scheduler", ["harmonic", "ratio"])
+    def test_out_of_order_constraint_held(self, scheduler):
+        for seed in range(4):
+            _, _, outcome = run_session(seed=seed, stop="prebuffer", scheduler=scheduler)
+            assert outcome.peak_out_of_order <= 1, (scheduler, seed)

@@ -1,0 +1,152 @@
+"""Real-socket asyncio backend: shaping, server, end-to-end sessions."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.config import PlayerConfig
+from repro.errors import ConfigError
+from repro.live.client import LivePlayerDriver
+from repro.live.harness import LiveTestbed, run_live_session
+from repro.live.server import synthetic_body
+from repro.live.shaping import PathShape, TokenBucket
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestTokenBucket:
+    def test_burst_granted_immediately(self):
+        bucket = TokenBucket(rate=1000.0, burst=500.0)
+        assert bucket.try_take(400.0) == 0.0
+
+    def test_deficit_requires_waiting(self):
+        bucket = TokenBucket(rate=1000.0, burst=100.0)
+        bucket.try_take(100.0)
+        wait = bucket.try_take(250.0)
+        assert wait == pytest.approx(0.25, rel=0.1)
+
+    def test_long_run_rate_conformance(self):
+        # Simulated clock: drain 10 kB through a 1 kB/s bucket.
+        clock_value = [0.0]
+        bucket = TokenBucket(rate=1000.0, burst=100.0, clock=lambda: clock_value[0])
+        total_wait = 0.0
+        for _ in range(100):
+            wait = bucket.try_take(100.0)
+            total_wait += wait
+            clock_value[0] += wait
+        assert clock_value[0] == pytest.approx(10_000 / 1000.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0.0, burst=1.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ConfigError):
+            bucket.try_take(0.0)
+
+
+class TestPathShape:
+    def test_rtt(self):
+        assert PathShape("x", rate=1e6, one_way_delay=0.01).rtt == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PathShape("x", rate=0.0, one_way_delay=0.01)
+        with pytest.raises(ConfigError):
+            PathShape("x", rate=1.0, one_way_delay=-0.1)
+
+
+class TestSyntheticBody:
+    def test_deterministic(self):
+        assert synthetic_body(1000) == synthetic_body(1000)
+
+    def test_size_exact(self):
+        for size in (0, 1, 250, 251, 252, 10_000):
+            assert len(synthetic_body(size)) == size
+
+    def test_offset_varies_content(self):
+        assert synthetic_body(100, 0) != synthetic_body(100, 1)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return PlayerConfig(
+        prebuffer_s=4.0,
+        low_watermark_s=1.0,
+        rebuffer_fetch_s=2.0,
+        itag=18,
+        base_chunk_bytes=32 * 1024,
+    )
+
+
+class TestLiveSession:
+    def test_prebuffer_over_loopback(self, quick_config):
+        async def main():
+            testbed = LiveTestbed(video_duration_s=20.0)
+            await testbed.start()
+            try:
+                return await run_live_session(
+                    testbed, quick_config, stop="prebuffer", timeout_s=30.0
+                )
+            finally:
+                await testbed.stop()
+
+        outcome = run(main())
+        assert outcome.stop_reason == "prebuffer-complete"
+        assert outcome.startup_delay is not None and outcome.startup_delay > 0
+        # Both paths contributed.
+        assert len(outcome.requests_by_path) == 2
+
+    def test_wifi_like_path_dominates(self, quick_config):
+        async def main():
+            testbed = LiveTestbed(video_duration_s=20.0)
+            await testbed.start()
+            try:
+                return await run_live_session(
+                    testbed, quick_config, stop="prebuffer", timeout_s=30.0
+                )
+            finally:
+                await testbed.stop()
+
+        outcome = run(main())
+        # The faster, lower-latency path carries the majority share.
+        assert outcome.metrics.traffic_fraction(0, "prebuffer") > 0.5
+
+    def test_copyrighted_video_deciphered_live(self, quick_config):
+        async def main():
+            testbed = LiveTestbed(video_duration_s=12.0, copyrighted=True)
+            await testbed.start()
+            try:
+                return await run_live_session(
+                    testbed, quick_config, stop="prebuffer", timeout_s=30.0
+                )
+            finally:
+                await testbed.stop()
+
+        outcome = run(main())
+        assert outcome.stop_reason == "prebuffer-complete"
+
+    def test_rebuffer_cycle_live(self, quick_config):
+        async def main():
+            testbed = LiveTestbed(video_duration_s=25.0)
+            await testbed.start()
+            try:
+                return await run_live_session(
+                    testbed,
+                    quick_config,
+                    stop="cycles",
+                    target_cycles=1,
+                    timeout_s=40.0,
+                )
+            finally:
+                await testbed.stop()
+
+        outcome = run(main())
+        assert outcome.stop_reason == "cycles-complete"
+        assert len(outcome.metrics.completed_cycle_durations()) >= 1
+
+    def test_invalid_stop_rejected(self):
+        with pytest.raises(ValueError):
+            LivePlayerDriver(["127.0.0.1:1"], "x" * 11, stop="never")

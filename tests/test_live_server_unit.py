@@ -1,0 +1,148 @@
+"""Live HTTP server units: one server, raw socket client."""
+
+import asyncio
+
+import pytest
+
+from repro.http.h1 import H1Parser
+from repro.http.messages import Request, Response
+from repro.live.server import LiveHTTPServer, make_app_adapter
+from repro.live.shaping import PathShape
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def echo_app(request: Request, client_network: str) -> Response:
+    if request.path == "/echo":
+        return Response(200, body=f"{request.query.get('m', '')}@{client_network}".encode())
+    if request.path == "/virtual":
+        return Response(200, body_size=10_000)  # simulator-style body
+    return Response.error(404)
+
+
+async def one_server():
+    shape = PathShape(name="test", rate=5_000_000.0, one_way_delay=0.001)
+    server = LiveHTTPServer(make_app_adapter(echo_app), shape, client_network="test-net")
+    await server.start()
+    return server
+
+
+async def roundtrip(server: LiveHTTPServer, request: Request) -> Response:
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    try:
+        writer.write(request.encode())
+        await writer.drain()
+        parser = H1Parser(role="response")
+        while True:
+            data = await reader.read(65536)
+            assert data, "connection closed before response completed"
+            messages = parser.feed(data)
+            if messages:
+                return messages[0].to_response()
+    finally:
+        writer.close()
+
+
+class TestLiveHTTPServer:
+    def test_echo_roundtrip(self):
+        async def main():
+            server = await one_server()
+            try:
+                response = await roundtrip(
+                    server, Request.get("/echo?m=hello", host=server.address)
+                )
+            finally:
+                await server.stop()
+            return response
+
+        response = run(main())
+        assert response.status == 200
+        assert response.body == b"hello@test-net"
+
+    def test_virtual_body_materialized(self):
+        async def main():
+            server = await one_server()
+            try:
+                return await roundtrip(
+                    server, Request.get("/virtual", host=server.address)
+                )
+            finally:
+                await server.stop()
+
+        response = run(main())
+        assert len(response.body) == 10_000
+
+    def test_persistent_connection_two_requests(self):
+        async def main():
+            server = await one_server()
+            try:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                parser = H1Parser(role="response")
+                bodies = []
+                for message in ("a", "b"):
+                    writer.write(
+                        Request.get(f"/echo?m={message}", host=server.address).encode()
+                    )
+                    await writer.drain()
+                    while True:
+                        data = await reader.read(65536)
+                        messages = parser.feed(data)
+                        if messages:
+                            bodies.append(messages[0].body)
+                            break
+                writer.close()
+                return bodies, server.requests_served
+            finally:
+                await server.stop()
+
+        bodies, served = run(main())
+        assert bodies == [b"a@test-net", b"b@test-net"]
+        assert served == 2
+
+    def test_malformed_request_gets_400(self):
+        async def main():
+            server = await one_server()
+            try:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                writer.write(b"COMPLETE GARBAGE\r\n\r\n")
+                await writer.drain()
+                data = await reader.read(65536)
+                writer.close()
+                return data
+            finally:
+                await server.stop()
+
+        data = run(main())
+        assert b"400" in data.split(b"\r\n")[0]
+
+    def test_address_requires_start(self):
+        shape = PathShape(name="t", rate=1e6, one_way_delay=0.0)
+        server = LiveHTTPServer(make_app_adapter(echo_app), shape, client_network="n")
+        with pytest.raises(RuntimeError):
+            _ = server.address
+
+    def test_shaping_slows_transfer(self):
+        async def timed_fetch(rate):
+            shape = PathShape(name="t", rate=rate, one_way_delay=0.0, burst=8 * 1024)
+            server = LiveHTTPServer(
+                make_app_adapter(echo_app), shape, client_network="n"
+            )
+            await server.start()
+            loop = asyncio.get_running_loop()
+            try:
+                start = loop.time()
+                await roundtrip(server, Request.get("/virtual", host=server.address))
+                return loop.time() - start
+            finally:
+                await server.stop()
+
+        async def main():
+            slow = await timed_fetch(20_000.0)  # 10 kB at 20 kB/s ≈ 0.4+ s
+            fast = await timed_fetch(5_000_000.0)
+            return slow, fast
+
+        slow, fast = run(main())
+        assert slow > fast * 2
+        assert slow > 0.05

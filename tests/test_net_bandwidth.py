@@ -1,0 +1,151 @@
+"""Bandwidth processes: segment validity and long-run means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.net.bandwidth import (
+    ARLogNormalBandwidth,
+    CompositeBandwidth,
+    ConstantBandwidth,
+    MarkovBandwidth,
+    TraceBandwidth,
+)
+
+
+def time_average(process, horizon: float) -> float:
+    """Empirical time-weighted mean rate over [0, horizon]."""
+    elapsed = 0.0
+    weighted = 0.0
+    for duration, rate in process.segments():
+        take = min(duration, horizon - elapsed)
+        weighted += take * rate
+        elapsed += take
+        if elapsed >= horizon:
+            break
+    return weighted / horizon
+
+
+class TestConstant:
+    def test_segments(self):
+        process = ConstantBandwidth(1e6, segment_duration=2.0)
+        duration, rate = next(process.segments())
+        assert (duration, rate) == (2.0, 1e6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ConstantBandwidth(0.0)
+
+
+class TestMarkov:
+    def test_stationary_mean_two_state(self, rng):
+        process = MarkovBandwidth([(2e6, 4.0), (1e6, 1.0)], rng)
+        # pi weights by holding time: (4*2e6 + 1*1e6) / 5.
+        assert process.mean_rate == pytest.approx(1.8e6, rel=1e-6)
+
+    def test_empirical_mean_approaches_stationary(self, rng):
+        process = MarkovBandwidth([(2e6, 2.0), (0.5e6, 1.0)], rng)
+        empirical = time_average(process, horizon=8000.0)
+        assert empirical == pytest.approx(process.mean_rate, rel=0.08)
+
+    def test_rates_come_from_state_set(self, rng):
+        process = MarkovBandwidth([(2e6, 1.0), (1e6, 1.0)], rng)
+        rates = {rate for _, rate in zip(range(50), ())}  # placeholder
+        rates = set()
+        for _, (duration, rate) in zip(range(50), process.segments()):
+            assert duration > 0
+            rates.add(rate)
+        assert rates <= {2e6, 1e6}
+        assert len(rates) == 2  # both states visited in 50 transitions
+
+    def test_needs_two_states(self, rng):
+        with pytest.raises(ConfigError):
+            MarkovBandwidth([(1e6, 1.0)], rng)
+
+    def test_transition_matrix_validated(self, rng):
+        with pytest.raises(ConfigError):
+            MarkovBandwidth([(1e6, 1.0), (2e6, 1.0)], rng, transitions=[[0.5, 0.5], [1.0, 0.0]])
+        with pytest.raises(ConfigError):
+            MarkovBandwidth([(1e6, 1.0), (2e6, 1.0)], rng, transitions=[[0.0, 0.9], [1.0, 0.0]])
+
+
+class TestARLogNormal:
+    def test_mean_calibration(self, rng):
+        process = ARLogNormalBandwidth(1e6, sigma=0.3, rng=rng, rho=0.7, interval=0.25)
+        empirical = time_average(process, horizon=4000.0)
+        assert empirical == pytest.approx(1e6, rel=0.1)
+
+    def test_rates_respect_clamps(self, rng):
+        process = ARLogNormalBandwidth(
+            1e6, sigma=1.0, rng=rng, rho=0.0, floor_fraction=0.2, ceiling_fraction=2.0
+        )
+        for _, (duration, rate) in zip(range(500), process.segments()):
+            assert duration == pytest.approx(0.5)
+            assert 0.2e6 <= rate <= 2.0e6
+
+    def test_zero_sigma_is_constant(self, rng):
+        process = ARLogNormalBandwidth(1e6, sigma=0.0, rng=rng)
+        rates = [rate for _, (d, rate) in zip(range(20), process.segments())]
+        assert all(rate == pytest.approx(1e6) for rate in rates)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ConfigError):
+            ARLogNormalBandwidth(0.0, 0.2, rng)
+        with pytest.raises(ConfigError):
+            ARLogNormalBandwidth(1e6, 0.2, rng, rho=1.0)
+        with pytest.raises(ConfigError):
+            ARLogNormalBandwidth(1e6, -0.1, rng)
+
+
+class TestTrace:
+    def test_replay_and_loop(self):
+        process = TraceBandwidth([(1.0, 1e6), (2.0, 2e6)], loop=True)
+        segments = [segment for _, segment in zip(range(4), process.segments())]
+        assert segments == [(1.0, 1e6), (2.0, 2e6), (1.0, 1e6), (2.0, 2e6)]
+
+    def test_mean_rate_time_weighted(self):
+        process = TraceBandwidth([(1.0, 1e6), (3.0, 2e6)])
+        assert process.mean_rate == pytest.approx((1e6 + 6e6) / 4.0)
+
+    def test_no_loop_holds_last_rate(self):
+        process = TraceBandwidth([(1.0, 1e6)], loop=False)
+        segments = process.segments()
+        next(segments)
+        duration, rate = next(segments)
+        assert rate == 1e6 and duration > 100
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceBandwidth([])
+
+    def test_invalid_segment_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceBandwidth([(0.0, 1e6)])
+
+
+class TestComposite:
+    def test_constant_modulation_is_identity(self, rng):
+        base = TraceBandwidth([(1.0, 1e6), (1.0, 2e6)])
+        modulation = ConstantBandwidth(5.0)  # any constant: normalized away
+        composite = CompositeBandwidth(base, modulation)
+        rates = [rate for _, (d, rate) in zip(range(4), composite.segments())]
+        assert rates == [pytest.approx(1e6), pytest.approx(2e6)] * 2
+
+    def test_segment_boundaries_merge(self, rng):
+        base = TraceBandwidth([(2.0, 1e6)])
+        modulation = TraceBandwidth([(1.0, 2.0), (1.0, 0.5)])  # mean 1.25
+        composite = CompositeBandwidth(base, modulation)
+        first = next(composite.segments())
+        assert first[0] == pytest.approx(1.0)  # cut at the finer boundary
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_segments_always_positive(self, seed):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        base = ARLogNormalBandwidth(1e6, sigma=0.4, rng=rng)
+        modulation = MarkovBandwidth([(1.2, 4.0), (0.6, 2.0)], rng)
+        composite = CompositeBandwidth(base, modulation)
+        for _, (duration, rate) in zip(range(200), composite.segments()):
+            assert duration > 0
+            assert rate > 0

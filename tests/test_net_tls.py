@@ -1,0 +1,76 @@
+"""TLS timing model: the Fig. 1 closed forms."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.tls import (
+    TLSParams,
+    eta,
+    head_start,
+    pi_first_video_packet,
+    psi,
+    secure_connection_setup_time,
+    tls_handshake_duration,
+)
+
+
+class TestHandshakeDuration:
+    def test_full_handshake(self):
+        tls = TLSParams(delta1=0.008, delta2=0.008)
+        assert tls_handshake_duration(0.050, tls) == pytest.approx(0.116)
+
+    def test_resumption_requires_flag(self):
+        tls = TLSParams(delta1=0.008, delta2=0.008, resumption=False)
+        # resumed=True without server support: still a full handshake.
+        assert tls_handshake_duration(0.050, tls, resumed=True) == pytest.approx(0.116)
+
+    def test_abbreviated(self):
+        tls = TLSParams(delta1=0.008, delta2=0.004, resumption=True)
+        assert tls_handshake_duration(0.050, tls, resumed=True) == pytest.approx(0.054)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ConfigError):
+            tls_handshake_duration(-0.001, TLSParams())
+
+    def test_negative_deltas_rejected(self):
+        with pytest.raises(ConfigError):
+            TLSParams(delta1=-0.001)
+
+
+class TestPaperFormulas:
+    """η = 4R+Δ1+Δ2, ψ = 6R+Δ1+Δ2, π ≈ ψ+η, head start = 10(θ−1)R1 (§3.2)."""
+
+    tls = TLSParams(delta1=0.010, delta2=0.006)
+
+    def test_eta(self):
+        assert eta(0.050, self.tls) == pytest.approx(4 * 0.050 + 0.016)
+
+    def test_psi_is_eta_plus_two_rtt(self):
+        assert psi(0.050, self.tls) == pytest.approx(eta(0.050, self.tls) + 2 * 0.050)
+
+    def test_pi(self):
+        assert pi_first_video_packet(0.050, self.tls) == pytest.approx(
+            psi(0.050, self.tls) + eta(0.050, self.tls)
+        )
+
+    def test_setup_time_one_rtt_before_eta(self):
+        # η counts the request's first-byte RTT on top of setup.
+        assert secure_connection_setup_time(0.050, self.tls) == pytest.approx(
+            eta(0.050, self.tls) - 0.050
+        )
+
+    @pytest.mark.parametrize("theta", [1.0, 1.5, 2.0, 2.5, 3.0])
+    def test_head_start_formula(self, theta):
+        r1 = 0.040
+        assert head_start(r1, theta * r1) == pytest.approx(10.0 * (theta - 1.0) * r1)
+
+    def test_head_start_is_pi_difference_when_deltas_match(self):
+        r1, r2 = 0.030, 0.075
+        difference = pi_first_video_packet(r2, self.tls) - pi_first_video_packet(
+            r1, self.tls
+        )
+        assert difference == pytest.approx(head_start(r1, r2))
+
+    def test_head_start_validates(self):
+        with pytest.raises(ConfigError):
+            head_start(0.0, 0.05)

@@ -1,0 +1,174 @@
+"""Interfaces, hosts, routing binding, DNS."""
+
+import pytest
+
+from repro.errors import ConfigError, DNSError, LinkDownError, RoutingError, ServerUnavailableError
+from repro.net.bandwidth import ConstantBandwidth
+from repro.net.dns import StubResolver
+from repro.net.iface import NetworkInterface
+from repro.net.latency import ConstantLatency
+from repro.net.link import Link
+from repro.net.topology import Host, Network
+from repro.units import mbit
+
+
+def make_iface(env, name="wlan0", kind="wifi", delay=0.010, network_id="wifi-net"):
+    link = Link(env, ConstantBandwidth(mbit(10)), name=f"{name}-link")
+    return NetworkInterface(
+        env, name, kind, link, ConstantLatency(delay), network_id, "10.0.0.2"
+    )
+
+
+class TestInterface:
+    def test_unknown_kind_rejected(self, env):
+        with pytest.raises(ConfigError):
+            make_iface(env, kind="carrier-pigeon")
+
+    def test_open_connection_binds_to_link(self, env):
+        iface = make_iface(env)
+        connection = iface.open_connection()
+        assert connection.link is iface.link
+
+    def test_down_interface_refuses_connections(self, env):
+        iface = make_iface(env)
+        iface.set_up(False)
+        with pytest.raises(LinkDownError):
+            iface.open_connection()
+
+    def test_down_resets_existing_flows(self, env):
+        iface = make_iface(env)
+        flow = iface.link.start_flow(10_000_000)
+        iface.set_up(False)
+        assert not flow.active
+
+    def test_status_listeners(self, env):
+        iface = make_iface(env)
+        events = []
+        iface.status_listeners.append(events.append)
+        iface.set_up(False)
+        iface.set_up(True)
+        assert events == [True, False]
+
+    def test_connection_names_unique(self, env):
+        iface = make_iface(env)
+        names = {iface.open_connection().name for _ in range(3)}
+        assert len(names) == 3
+
+
+class TestNetworkAndHosts:
+    def test_connect_reaches_host(self, env):
+        network = Network(env)
+        network.add_host(Host("server.example", network_id="wifi-net"))
+        iface = make_iface(env)
+        connection, host = network.connect(iface, "server.example")
+        assert host.address == "server.example"
+        assert connection.link is iface.link
+
+    def test_host_distance_adds_latency(self, env):
+        network = Network(env)
+        network.add_host(Host("far.example", extra_one_way_delay=0.040))
+        iface = make_iface(env, delay=0.010)
+        connection, _ = network.connect(iface, "far.example")
+        assert connection.latency.base_delay == pytest.approx(0.050)
+
+    def test_unknown_host_is_routing_error(self, env):
+        network = Network(env)
+        with pytest.raises(RoutingError):
+            network.connect(make_iface(env), "nowhere.example")
+
+    def test_duplicate_host_rejected(self, env):
+        network = Network(env)
+        network.add_host(Host("a.example"))
+        with pytest.raises(ConfigError):
+            network.add_host(Host("a.example"))
+
+    def test_down_host_refuses_connections(self, env):
+        network = Network(env)
+        host = network.add_host(Host("dead.example"))
+        host.fail()
+        with pytest.raises(ServerUnavailableError):
+            network.connect(make_iface(env), "dead.example")
+
+    def test_host_failure_resets_tracked_connections(self, env):
+        network = Network(env)
+        host = network.add_host(Host("flaky.example"))
+        iface = make_iface(env)
+        connection, _ = network.connect(iface, "flaky.example")
+
+        def main(env):
+            yield env.process(connection.connect())
+            host.fail()
+            return connection.closed
+
+        process = env.process(main(env))
+        env.run(process)
+        assert process.value is True
+
+    def test_hosts_in_network_filter(self, env):
+        network = Network(env)
+        network.add_host(Host("a", network_id="wifi-net"))
+        network.add_host(Host("b", network_id="lte-net"))
+        network.add_host(Host("c", network_id="wifi-net"))
+        assert {h.address for h in network.hosts_in_network("wifi-net")} == {"a", "c"}
+
+    def test_recover_after_failure(self, env):
+        network = Network(env)
+        host = network.add_host(Host("phoenix.example"))
+        host.fail()
+        host.recover()
+        connection, _ = network.connect(make_iface(env), "phoenix.example")
+        assert connection is not None
+
+
+class TestStubResolver:
+    def test_resolution_charges_latency(self, env):
+        resolver = StubResolver(env, lookup_delay=0.030)
+        resolver.add_record("www.youtube.example", ["proxy1"])
+
+        def main(env):
+            answer = yield from resolver.resolve("www.youtube.example")
+            return answer
+
+        process = env.process(main(env))
+        env.run(process)
+        assert process.value == ["proxy1"]
+        assert env.now == pytest.approx(0.030)
+
+    def test_per_network_records(self, env):
+        resolver = StubResolver(env, lookup_delay=0.0)
+        resolver.add_record("cdn", ["wifi-server"], network_id="wifi-net")
+        resolver.add_record("cdn", ["lte-server"], network_id="lte-net")
+        assert resolver.resolve_now("cdn", "wifi-net") == ["wifi-server"]
+        assert resolver.resolve_now("cdn", "lte-net") == ["lte-server"]
+
+    def test_global_fallback(self, env):
+        resolver = StubResolver(env)
+        resolver.add_record("cdn", ["anywhere"])
+        assert resolver.resolve_now("cdn", "some-net") == ["anywhere"]
+
+    def test_nxdomain(self, env):
+        resolver = StubResolver(env)
+        with pytest.raises(DNSError):
+            resolver.resolve_now("missing.example")
+
+    def test_cache_hit_skips_latency(self, env):
+        resolver = StubResolver(env, lookup_delay=0.030)
+        resolver.add_record("cdn", ["x"])
+
+        def main(env):
+            yield from resolver.resolve("cdn")
+            before = env.now
+            answer = yield from resolver.resolve("cdn")
+            return env.now - before, answer
+
+        process = env.process(main(env))
+        env.run(process)
+        elapsed, answer = process.value
+        assert elapsed == 0.0
+        assert answer == ["x"]
+        assert resolver.hits == 1 and resolver.misses == 1
+
+    def test_empty_record_rejected(self, env):
+        resolver = StubResolver(env)
+        with pytest.raises(ConfigError):
+            resolver.add_record("cdn", [])

@@ -1,0 +1,140 @@
+"""Unit-conversion helpers: parsing, formatting, video byte math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitParseError
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    bytes_of_video,
+    format_size,
+    kbit,
+    mbit,
+    parse_rate,
+    parse_size,
+    seconds_of_video,
+    to_mbit,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("123") == 123
+
+    def test_kb_binary(self):
+        assert parse_size("16KB") == 16 * 1024
+
+    def test_mb_binary(self):
+        assert parse_size("1MB") == 1024 * 1024
+
+    def test_gb(self):
+        assert parse_size("2GB") == 2 * GB
+
+    def test_case_insensitive(self):
+        assert parse_size("64kb") == 64 * KB
+
+    def test_short_suffix(self):
+        assert parse_size("256K") == 256 * KB
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  4 MB ") == 4 * MB
+
+    def test_fractional_resolving_to_whole_bytes(self):
+        assert parse_size("1.5KB") == 1536
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size("lots of bytes")
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size("0.3")
+
+
+class TestFormatSize:
+    def test_paper_axis_labels(self):
+        # The exact labels of Fig. 3's Y axis.
+        assert [format_size(s) for s in (16 * KB, 64 * KB, 256 * KB, MB)] == [
+            "16KB",
+            "64KB",
+            "256KB",
+            "1MB",
+        ]
+
+    def test_small_values_in_bytes(self):
+        assert format_size(100) == "100B"
+
+    def test_non_exact_gets_decimal(self):
+        assert format_size(1536) == "1.5KB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitParseError):
+            format_size(-5)
+
+    @given(st.integers(min_value=0, max_value=10 * GB))
+    def test_roundtrip_exact_multiples(self, n):
+        # format -> parse is identity whenever format emits no decimals.
+        text = format_size(n)
+        if "." not in text:
+            assert parse_size(text) == n
+
+
+class TestRates:
+    def test_mbit(self):
+        assert mbit(8.0) == 1_000_000.0
+
+    def test_kbit(self):
+        assert kbit(8.0) == 1000.0
+
+    def test_to_mbit_inverse(self):
+        assert to_mbit(mbit(13.37)) == pytest.approx(13.37)
+
+    def test_parse_rate_mbps(self):
+        assert parse_rate("8mbps") == 1_000_000.0
+
+    def test_parse_rate_number_passthrough(self):
+        assert parse_rate(5000.0) == 5000.0
+
+    def test_parse_rate_garbage(self):
+        with pytest.raises(UnitParseError):
+            parse_rate("fast")
+
+    def test_parse_rate_negative(self):
+        with pytest.raises(UnitParseError):
+            parse_rate(-1.0)
+
+
+class TestVideoByteMath:
+    def test_seconds_of_video(self):
+        assert seconds_of_video(1000, 100.0) == 10.0
+
+    def test_bytes_of_video(self):
+        assert bytes_of_video(10.0, 100.0) == 1000
+
+    @given(
+        st.floats(min_value=0.1, max_value=7200.0),
+        st.floats(min_value=1000.0, max_value=10_000_000.0),
+    )
+    def test_roundtrip(self, duration, bitrate):
+        num_bytes = bytes_of_video(duration, bitrate)
+        recovered = seconds_of_video(num_bytes, bitrate)
+        assert recovered == pytest.approx(duration, rel=1e-3, abs=1e-3)
+
+    def test_zero_bitrate_rejected(self):
+        with pytest.raises(UnitParseError):
+            seconds_of_video(100, 0.0)
+        with pytest.raises(UnitParseError):
+            bytes_of_video(1.0, 0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(UnitParseError):
+            bytes_of_video(-1.0, 100.0)
