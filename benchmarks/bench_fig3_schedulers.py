@@ -19,7 +19,7 @@ the dynamic schedulers' worst cell.
 """
 
 import numpy as np
-from conftest import run_once, trials
+from conftest import jobs, run_once, trials
 
 from repro.analysis.experiments import fig3_scheduler_sweep
 from repro.units import KB, MB, format_size
@@ -29,7 +29,7 @@ PREBUFFERS = (20.0, 40.0, 60.0)
 
 
 def test_fig3_scheduler_sweep(benchmark, record_result):
-    result = run_once(benchmark, fig3_scheduler_sweep, trials=trials())
+    result = run_once(benchmark, fig3_scheduler_sweep, trials=trials(), jobs=jobs())
     record_result("fig3", result.rendered)
     raw = result.raw
 
@@ -83,6 +83,7 @@ def test_fig3_harmonic_256k_matches_1mb(benchmark, record_result):
         benchmark,
         fig3_scheduler_sweep,
         trials=trials(),
+        jobs=jobs(),
         prebuffers=(40.0,),
         chunks=(256 * KB, 1 * MB),
         schedulers=("harmonic",),

@@ -1,0 +1,127 @@
+"""BENCH-PERF-CORE — kernel and campaign throughput trajectory.
+
+Unlike the figure benches (which assert paper *shapes*), this one
+tracks *speed*: raw kernel event throughput, TCP exchange throughput
+(the hot path the closed-form slow start optimizes), and end-to-end
+trial throughput serial vs ``--jobs auto``.  Numbers land in
+``results/BENCH_perf_core.json`` so the perf trajectory is populated
+run over run.
+
+Determinism is asserted alongside speed: the parallel campaign must
+reproduce the serial outcomes byte-for-byte.
+
+Speedup assertions are scaled to the runner: the ≥3× parallel target
+only applies with ≥4 CPUs (trials are embarrassingly parallel, so the
+pool scales with cores); single-core CI still measures and archives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import RESULTS_DIR
+
+from repro.core.config import PlayerConfig
+from repro.net.bandwidth import ConstantBandwidth
+from repro.net.env import Environment
+from repro.net.latency import ConstantLatency
+from repro.net.link import Link
+from repro.net.tcp import TCPConnection, TCPParams
+from repro.sim.profiles import testbed_profile
+from repro.sim.runner import TrialRunner
+from repro.units import KB, mbit
+
+RESULT_FILE = RESULTS_DIR / "BENCH_perf_core.json"
+
+#: Trial count of the paper's campaigns (§5.2) — the parallel target.
+CAMPAIGN_TRIALS = 20
+
+
+@pytest.fixture(scope="module")
+def perf_record():
+    record: dict[str, object] = {
+        "schema": "perf_core/v1",
+        "cpu_count": os.cpu_count(),
+    }
+    yield record
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def test_kernel_event_throughput(perf_record):
+    """Dispatch rate of the bare discrete-event kernel (timeout storm)."""
+
+    def worker(env, n):
+        for _ in range(n):
+            yield env.timeout(0.001)
+
+    env = Environment()
+    for _ in range(50):
+        env.process(worker(env, 2000))
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    events_per_sec = env._counter / elapsed
+    perf_record["kernel_events_per_sec"] = round(events_per_sec)
+    assert events_per_sec > 10_000  # sanity floor, not a target
+
+
+def test_tcp_exchange_throughput(perf_record):
+    """Slow-start exchanges per second — the path the closed-form cap
+    schedule replaced a pacer process + O(log S/RTT) timeouts on."""
+    env = Environment()
+    link = Link(env, ConstantBandwidth(mbit(80.0)))
+    conn = TCPConnection(
+        env, link, ConstantLatency(0.020), TCPParams(idle_reset_after=0.05)
+    )
+    exchanges = 2000
+
+    def main(env):
+        yield env.process(conn.connect())
+        for _ in range(exchanges):
+            yield env.process(conn.exchange(64 * KB))
+            yield env.timeout(0.2)  # idle reset: fresh slow start each time
+
+    proc = env.process(main(env))
+    start = time.perf_counter()
+    env.run(until=proc)
+    elapsed = time.perf_counter() - start
+    perf_record["tcp_exchanges_per_sec"] = round(exchanges / elapsed)
+    assert exchanges / elapsed > 100  # sanity floor
+
+
+def test_campaign_throughput_serial_vs_parallel(perf_record):
+    """A 20-trial fig3-style configuration, serial vs ``jobs='auto'``."""
+    config = PlayerConfig(scheduler="harmonic", base_chunk_bytes=64 * KB)
+
+    def run(jobs):
+        runner = TrialRunner(testbed_profile, trials=CAMPAIGN_TRIALS, jobs=jobs)
+        start = time.perf_counter()
+        result = runner.run("perf-core", runner.msplayer(config))
+        return time.perf_counter() - start, result
+
+    serial_s, serial = run("serial")
+    parallel_s, parallel = run("auto")
+    speedup = serial_s / parallel_s
+
+    perf_record["campaign_trials"] = CAMPAIGN_TRIALS
+    perf_record["campaign_serial_s"] = round(serial_s, 4)
+    perf_record["campaign_auto_s"] = round(parallel_s, 4)
+    perf_record["campaign_auto_speedup"] = round(speedup, 3)
+    perf_record["campaign_trials_per_sec_serial"] = round(CAMPAIGN_TRIALS / serial_s, 2)
+    perf_record["campaign_trials_per_sec_auto"] = round(CAMPAIGN_TRIALS / parallel_s, 2)
+
+    # Determinism before speed: byte-identical outcomes.
+    assert serial.startup_delays() == parallel.startup_delays()
+    assert [o.finished_at for o in serial.outcomes] == [
+        o.finished_at for o in parallel.outcomes
+    ]
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert speedup >= 3.0, f"expected >=3x on {cpus} CPUs, got {speedup:.2f}x"
+    elif cpus >= 2:
+        assert speedup >= 1.2, f"expected >=1.2x on {cpus} CPUs, got {speedup:.2f}x"

@@ -11,13 +11,13 @@ The load-bearing claims: WiFi (the fast path, θ ≈ 2–3) carries the
 the shares stay in a 50–80 % band rather than saturating to 100 %.
 """
 
-from conftest import run_once, trials
+from conftest import jobs, run_once, trials
 
 from repro.analysis.experiments import table1_traffic_fraction
 
 
 def test_table1_traffic_fraction(benchmark, record_result):
-    result = run_once(benchmark, table1_traffic_fraction, trials=trials())
+    result = run_once(benchmark, table1_traffic_fraction, trials=trials(), jobs=jobs())
     record_result("table1", result.rendered)
     raw = result.raw
 

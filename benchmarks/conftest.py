@@ -7,6 +7,13 @@ panel, and archives it under ``benchmarks/results/``.
 
 Trial count: the paper repeats 20×; benches default to 10 for CI speed.
 Set ``REPRO_TRIALS=20`` for a full paper-fidelity run.
+
+Trial parallelism: ``REPRO_JOBS`` selects the trial execution backend
+for every campaign (see :mod:`repro.sim.execution`) — ``serial`` (the
+default), ``auto`` (one worker process per CPU), or an integer worker
+count.  Trials derive independent seeds, so the archived panels are
+byte-identical whatever the backend; ``REPRO_TRIALS=20 REPRO_JOBS=auto``
+is the fast paper-fidelity run.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def trials(default: int = 10) -> int:
     return int(os.environ.get("REPRO_TRIALS", default))
+
+
+def jobs(default: str | int | None = None) -> str | int | None:
+    """The ``jobs`` knob benches pass to experiment functions."""
+    return os.environ.get("REPRO_JOBS", default)
 
 
 @pytest.fixture

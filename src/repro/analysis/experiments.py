@@ -4,7 +4,11 @@ Benchmarks (and examples) call these; each returns an
 :class:`ExperimentResult` whose ``rendered`` text reproduces the
 figure/table and whose ``raw`` dict carries the numbers for assertions.
 The functions accept a ``trials`` knob so CI can run quick passes and a
-full run matches the paper's 20 repetitions (§5.2).
+full run matches the paper's 20 repetitions (§5.2), plus a ``jobs``
+knob selecting the trial execution backend (``1`` serial, ``N`` or
+``"auto"`` a process pool; see :mod:`repro.sim.execution`).  Trials are
+i.i.d. with derived seeds, so the rendered output is byte-identical
+whatever the backend.
 
 Index (see DESIGN.md §4 and EXPERIMENTS.md):
 
@@ -24,10 +28,11 @@ x3         estimator ablation on bursty traces
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
+from typing import Union
 
 import numpy as np
 
-from ..baselines.mptcp import MPTCPLikeDriver
 from ..core.config import PlayerConfig
 from ..core.estimators import make_estimator
 from ..net.tls import TLSParams, eta, head_start, psi
@@ -35,13 +40,16 @@ from ..sim.driver import MSPlayerDriver
 from ..sim.profiles import NetworkProfile, mobility_profile, testbed_profile, youtube_profile
 from ..sim.runner import TrialRunner
 from ..sim.scenario import Scenario, ScenarioConfig
-from ..sim.singlepath import FLASH_CHUNK, HTML5_CHUNK, SinglePathDriver
+from ..sim.singlepath import FLASH_CHUNK, HTML5_CHUNK
 from ..units import KB, MB, MS, format_size
 from .stats import summarize
 from .tables import format_table, render_distribution_rows
 
 #: Experiment default: the paper's repetition count.
 PAPER_TRIALS = 20
+
+#: Type of the ``jobs`` knob shared by the trial-based experiments.
+Jobs = Union[int, str, None]
 
 
 @dataclass
@@ -142,9 +150,11 @@ def _fig1_profile(rtt_wifi: float, rtt_lte: float, tls: TLSParams) -> NetworkPro
 # ---------------------------------------------------------------------------
 
 
-def fig2_prebuffer_testbed(trials: int = PAPER_TRIALS, seed: int = 2014) -> ExperimentResult:
+def fig2_prebuffer_testbed(
+    trials: int = PAPER_TRIALS, seed: int = 2014, jobs: Jobs = None
+) -> ExperimentResult:
     """WiFi vs LTE vs MSPlayer(Ratio, 1 MB) at a 40 s pre-buffer (§5.1)."""
-    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials)
+    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials, jobs=jobs)
     config = PlayerConfig(scheduler="ratio", base_chunk_bytes=1 * MB)
     baseline_config = PlayerConfig()
     samples = [
@@ -178,9 +188,10 @@ def fig3_scheduler_sweep(
     prebuffers: tuple[float, ...] = (20.0, 40.0, 60.0),
     chunks: tuple[int, ...] = (16 * KB, 64 * KB, 256 * KB, 1 * MB),
     schedulers: tuple[str, ...] = ("harmonic", "ewma", "ratio"),
+    jobs: Jobs = None,
 ) -> ExperimentResult:
     """Download time vs scheduler × pre-buffer duration × initial chunk (§5.2)."""
-    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials)
+    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials, jobs=jobs)
     raw: dict[str, dict] = {}
     sections: list[str] = []
     for prebuffer in prebuffers:
@@ -216,9 +227,10 @@ def fig4_prebuffer_youtube(
     trials: int = PAPER_TRIALS,
     seed: int = 2016,
     prebuffers: tuple[float, ...] = (20.0, 40.0, 60.0),
+    jobs: Jobs = None,
 ) -> ExperimentResult:
     """Start-up delay for 20/40/60 s pre-buffers on the wide-area profile (§6)."""
-    runner = TrialRunner(youtube_profile, root_seed=seed, trials=trials)
+    runner = TrialRunner(youtube_profile, root_seed=seed, trials=trials, jobs=jobs)
     sections = []
     raw: dict[str, dict] = {}
     for prebuffer in prebuffers:
@@ -253,6 +265,7 @@ def fig5_rebuffer(
     seed: int = 2017,
     rebuffers: tuple[float, ...] = (20.0, 40.0, 60.0),
     target_cycles: int = 3,
+    jobs: Jobs = None,
 ) -> ExperimentResult:
     """Playout-buffer refill time: fixed 64/256 KB single path vs MSPlayer (§6)."""
     sections = []
@@ -261,7 +274,11 @@ def fig5_rebuffer(
         # Longer refills need a longer video so cycles complete.
         scenario_config = ScenarioConfig(video_duration_s=max(300.0, rebuffer * 8))
         runner = TrialRunner(
-            youtube_profile, scenario_config=scenario_config, root_seed=seed, trials=trials
+            youtube_profile,
+            scenario_config=scenario_config,
+            root_seed=seed,
+            trials=trials,
+            jobs=jobs,
         )
         config = PlayerConfig(rebuffer_fetch_s=rebuffer)
         samples = []
@@ -302,6 +319,7 @@ def table1_traffic_fraction(
     trials: int = PAPER_TRIALS,
     seed: int = 2018,
     durations: tuple[float, ...] = (20.0, 40.0, 60.0),
+    jobs: Jobs = None,
 ) -> ExperimentResult:
     """Mean ± std of WiFi's byte share, pre- and re-buffering (§6)."""
     rows = []
@@ -309,7 +327,11 @@ def table1_traffic_fraction(
     for duration in durations:
         scenario_config = ScenarioConfig(video_duration_s=max(300.0, duration * 8))
         runner = TrialRunner(
-            youtube_profile, scenario_config=scenario_config, root_seed=seed, trials=trials
+            youtube_profile,
+            scenario_config=scenario_config,
+            root_seed=seed,
+            trials=trials,
+            jobs=jobs,
         )
         config = PlayerConfig(prebuffer_s=duration, rebuffer_fetch_s=duration)
         result = runner.run(
@@ -345,7 +367,21 @@ def table1_traffic_fraction(
 # ---------------------------------------------------------------------------
 
 
-def x1_robustness(trials: int = 10, seed: int = 2019) -> ExperimentResult:
+def _crash_primary_video_host(scenario: Scenario) -> None:
+    """Scenario hook: the WiFi network's first video server dies at 10 s.
+
+    A module-level function (not a closure) so trial specs carrying it
+    stay picklable for the process execution backend.
+    """
+
+    def crash():
+        yield scenario.env.timeout(10.0)
+        scenario.deployment.pools["wifi-net"].video_hosts[0].fail()
+
+    scenario.env.process(crash())
+
+
+def x1_robustness(trials: int = 10, seed: int = 2019, jobs: Jobs = None) -> ExperimentResult:
     """Mid-stream WiFi outage + video-server failure: stalls with/without diversity."""
     raw: dict[str, dict] = {}
     rows = []
@@ -356,10 +392,11 @@ def x1_robustness(trials: int = 10, seed: int = 2019) -> ExperimentResult:
     # the first re-buffering cycle opens around t = 42 s, inside the
     # 15–75 s outage window.
     runner = TrialRunner(
-        lambda: mobility_profile(wifi_down_at=15.0, wifi_up_at=75.0),
+        partial(mobility_profile, wifi_down_at=15.0, wifi_up_at=75.0),
         scenario_config=ScenarioConfig(video_duration_s=180.0),
         root_seed=seed,
         trials=trials,
+        jobs=jobs,
     )
     config = PlayerConfig()
     ms = runner.run("x1-ms", runner.msplayer(config, stop="full"))
@@ -382,25 +419,18 @@ def x1_robustness(trials: int = 10, seed: int = 2019) -> ExperimentResult:
     )
 
     # (b) primary video-server crash at 10 s: source failover inside a network.
-    def failing_scenario(scenario: Scenario) -> Scenario:
-        def crash():
-            yield scenario.env.timeout(10.0)
-            scenario.deployment.pools["wifi-net"].video_hosts[0].fail()
-
-        scenario.env.process(crash())
-        return scenario
-
     runner2 = TrialRunner(
         youtube_profile,
         scenario_config=ScenarioConfig(video_duration_s=180.0),
         root_seed=seed + 1,
         trials=trials,
+        jobs=jobs,
     )
-
-    def make_driver(scenario: Scenario) -> MSPlayerDriver:
-        return MSPlayerDriver(failing_scenario(scenario), config, stop="full")
-
-    crashed = runner2.run("x1-crash", make_driver)
+    crashed = runner2.run(
+        "x1-crash",
+        runner2.msplayer(config, stop="full"),
+        scenario_hook=_crash_primary_video_host,
+    )
     failovers = [o.metrics.failovers for o in crashed.outcomes]
     stalls = [o.metrics.total_stall_time for o in crashed.outcomes]
     finished = sum(1 for o in crashed.outcomes if o.stop_reason == "playback-finished")
@@ -426,19 +456,20 @@ def x1_robustness(trials: int = 10, seed: int = 2019) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def x2_source_diversity(trials: int = 10, seed: int = 2020) -> ExperimentResult:
+def x2_source_diversity(trials: int = 10, seed: int = 2020, jobs: Jobs = None) -> ExperimentResult:
     """Server-load concentration and start-up: 2 sources vs 1 (MPTCP-like)."""
     scenario_config = ScenarioConfig(video_duration_s=240.0, overload_threshold=2)
     runner = TrialRunner(
-        youtube_profile, scenario_config=scenario_config, root_seed=seed, trials=trials
+        youtube_profile,
+        scenario_config=scenario_config,
+        root_seed=seed,
+        trials=trials,
+        jobs=jobs,
     )
     config = PlayerConfig()
 
     ms = runner.run("x2-ms", runner.msplayer(config))
-    def mptcp_factory(scenario: Scenario) -> MPTCPLikeDriver:
-        return MPTCPLikeDriver(scenario, config, stop="prebuffer")
-
-    mp = runner.run("x2-mptcp", mptcp_factory)
+    mp = runner.run("x2-mptcp", runner.mptcp(config, stop="prebuffer"))
 
     def concentration(outcomes) -> float:
         tops = []

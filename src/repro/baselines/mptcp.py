@@ -23,10 +23,15 @@ comparison more lopsided.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.config import PlayerConfig
 from ..core.session import PlayerSession
 from ..sim.driver import MSPlayerDriver, SessionOutcome
 from ..sim.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.execution import SessionDriver
 
 
 class MPTCPLikeDriver(MSPlayerDriver):
@@ -98,6 +103,12 @@ class MPTCPLikeDriver(MSPlayerDriver):
         served = self.scenario.deployment.total_bytes_served()
         total = sum(served.values())
         return max(served.values()) / total if total else 0.0
+
+
+if TYPE_CHECKING:  # pragma: no cover - static conformance declaration
+
+    def _declares_session_driver(driver: MPTCPLikeDriver) -> "SessionDriver":
+        return driver
 
 
 def aggregate_session_paths(session: PlayerSession) -> list[str]:

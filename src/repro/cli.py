@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 from .analysis import experiments as exp
 from .core.config import PlayerConfig
+from .errors import ConfigError
 from .ext.adaptive import (
     AdaptiveSimDriver,
     BufferBasedController,
@@ -74,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--trials", type=int, default=10)
+    experiment.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="trial execution backend: an integer worker count, 'auto' "
+        "(one per CPU), or 'serial' (default; REPRO_JOBS env overrides)",
+    )
 
     adaptive = sub.add_parser("adaptive", help="run the DASH-extension player (§7)")
     adaptive.add_argument("--controller", choices=sorted(CONTROLLERS), default="throughput")
@@ -112,7 +120,23 @@ def _command_play(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     function, takes_trials = EXPERIMENTS[args.id]
-    result = function(trials=args.trials) if takes_trials else function()
+    # Validate before the campaign starts so a typo'd --jobs (or
+    # REPRO_JOBS — resolve_engine(None) consults it) fails in
+    # milliseconds with a one-line error, not a traceback.  Validated
+    # for every experiment id so the flag behaves consistently even on
+    # the single-pass experiments that have nothing to fan out.
+    try:
+        from .sim.execution import resolve_engine
+
+        resolve_engine(args.jobs)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Trial-based experiments all accept the execution-backend knob;
+    # fig1/x3 are deterministic single passes with nothing to fan out.
+    result = (
+        function(trials=args.trials, jobs=args.jobs) if takes_trials else function()
+    )
     print(result.rendered)
     return 0
 

@@ -23,7 +23,7 @@ import heapq
 from typing import Generator, Optional
 
 from ..errors import ClockError, SimulationError
-from .events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
+from .events import _URGENT, NORMAL, AllOf, AnyOf, Event, Process, Timeout
 from .simclock import SimClock
 
 
@@ -36,7 +36,12 @@ class Environment:
 
     def __init__(self, start: float = 0.0) -> None:
         self._clock = SimClock(start)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        # Heap entries are (time, priority, tie, event, process).  The
+        # ``process`` slot is normally None; when set, the entry is a
+        # direct resume of ``process`` with the already-processed
+        # ``event`` — allocation-free, and droppable if the process was
+        # resumed by something else (an interrupt) in the meantime.
+        self._queue: list[tuple[float, int, int, Event, Optional[Process]]] = []
         self._counter = 0  # FIFO tie-breaker for co-timed events
         self._active_process: Optional[Process] = None
 
@@ -80,7 +85,17 @@ class Environment:
         if delay < 0:
             raise ClockError(f"cannot schedule event {delay} seconds in the past")
         self._counter += 1
-        heapq.heappush(self._queue, (self.now + delay, priority, self._counter, event))
+        heapq.heappush(self._queue, (self.now + delay, priority, self._counter, event, None))
+
+    def _schedule_resume(self, process: Process, event: Event) -> None:
+        """Urgently redeliver a processed ``event`` straight to ``process``.
+
+        The event's processed state is left untouched: it already ran
+        its callbacks at its own dispatch; this entry only carries its
+        outcome to one late waiter.
+        """
+        self._counter += 1
+        heapq.heappush(self._queue, (self.now, _URGENT, self._counter, event, process))
 
     # -- execution ------------------------------------------------------------
 
@@ -92,8 +107,15 @@ class Environment:
         """Dispatch exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise EmptySchedule("no scheduled events")
-        when, _priority, _tie, event = heapq.heappop(self._queue)
+        when, _priority, _tie, event, process = heapq.heappop(self._queue)
         self._clock.advance_to(when)
+        if process is not None:
+            # Stale-entry guard: an interrupt may have resumed the
+            # process since this entry was queued, moving it to another
+            # wait; delivering here would double-resume the generator.
+            if process._waiting_on is event:
+                process._resume(event)
+            return
         callbacks = event.callbacks
         event.callbacks = None  # marks the event processed
         if callbacks:

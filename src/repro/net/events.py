@@ -36,6 +36,8 @@ class Event:
     callbacks run by the environment → *processed*.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] | None = []
@@ -118,6 +120,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after ``delay`` seconds of simulated time."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ProcessError(f"negative timeout delay: {delay}")
@@ -138,6 +142,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -160,6 +166,8 @@ class Process(Event):
     return value when the generator finishes, so processes can wait on
     each other (``yield env.process(...)`` or ``yield proc``).
     """
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -233,16 +241,15 @@ class Process(Event):
             self.fail(error)
             return
         if target.processed:
-            # Already fired and dispatched: resume immediately (next tick).
-            event2 = Event(self.env)
-            event2._ok = target._ok
-            event2._value = target._value
-            if not target._ok:
-                target.defused = True
-                event2.defused = True
-            event2.callbacks.append(self._resume)
-            self.env._schedule_event(event2, priority=_URGENT)
-            self._waiting_on = event2
+            # Already fired and dispatched: resume on the next urgent
+            # tick.  The scheduler redelivers the target itself — no
+            # clone event is allocated (_resume defuses failures when it
+            # throws them into the generator).  The entry carries this
+            # process so dispatch can drop it if an interrupt resumed
+            # the process first (the moral equivalent of the clone
+            # path's callbacks.remove deregistration).
+            self.env._schedule_resume(self, target)
+            self._waiting_on = target
         else:
             target.callbacks.append(self._resume)
             self._waiting_on = target
@@ -250,6 +257,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -293,12 +302,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when the first of its events fires (or any fails)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= 1
 
 
 class AllOf(_Condition):
     """Fires when every one of its events has fired (or any fails)."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._count >= len(self.events)

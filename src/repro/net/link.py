@@ -26,15 +26,18 @@ from typing import Callable, Iterator, Optional
 from ..errors import ConfigError, LinkDownError, NetworkError
 from .bandwidth import BandwidthProcess
 from .env import Environment
-from .events import Event
+from .events import Event, Timeout
 
 
 def max_min_allocation(capacity: float, caps: list[float]) -> list[float]:
     """Max-min fair rates for flows with upper bounds ``caps``.
 
-    Classic water-filling: repeatedly give every unsaturated flow an
-    equal share; flows whose cap is below their share are frozen at
-    their cap and the surplus is redistributed.
+    Classic water-filling, done in one linear pass over the caps sorted
+    ascending: walking up the sorted order, a flow whose cap is below
+    the equal share of the remaining capacity is frozen at its cap and
+    the surplus is redistributed among the flows still unfrozen; the
+    first flow whose cap exceeds its share ends the walk — it and every
+    later (larger-capped) flow get the equal share.
 
     >>> max_min_allocation(10.0, [2.0, float("inf")])
     [2.0, 8.0]
@@ -48,17 +51,16 @@ def max_min_allocation(capacity: float, caps: list[float]) -> list[float]:
         return []
     rates = [0.0] * n
     remaining = capacity
-    unsaturated = sorted(range(n), key=lambda i: caps[i])
-    while unsaturated:
-        share = remaining / len(unsaturated)
-        lowest = unsaturated[0]
-        if caps[lowest] <= share:
-            rates[lowest] = caps[lowest]
-            remaining -= caps[lowest]
-            unsaturated.pop(0)
+    order = sorted(range(n), key=lambda i: caps[i])
+    for position, index in enumerate(order):
+        share = remaining / (n - position)
+        cap = caps[index]
+        if cap <= share:
+            rates[index] = cap
+            remaining -= cap
         else:
-            for index in unsaturated:
-                rates[index] = share
+            for unfrozen in order[position:]:
+                rates[unfrozen] = share
             break
     return rates
 
@@ -68,15 +70,41 @@ class FlowHandle:
 
     Exposes the completion :class:`Event` (``done``), live accounting
     (``bytes_delivered``, ``rate``), and knobs the TCP model uses
-    (``set_cap``).  Cancel with :meth:`abort` (fails ``done`` with the
-    given exception).
+    (``set_cap``).  A flow may carry a *slow-start ramp*: its cap
+    doubles every ``ramp_rtt`` seconds up to ``ramp_limit``, with the
+    doubling instants computed analytically by the link (no pacer
+    process, no per-doubling timeout events).  Cancel with
+    :meth:`abort` (fails ``done`` with the given exception).
     """
 
-    def __init__(self, link: "Link", total_bytes: float, cap: float) -> None:
+    __slots__ = (
+        "link",
+        "total_bytes",
+        "remaining",
+        "cap",
+        "rate",
+        "done",
+        "started_at",
+        "finished_at",
+        "_ramp_interval",
+        "_ramp_at",
+        "_ramp_limit",
+    )
+
+    def __init__(
+        self,
+        link: "Link",
+        total_bytes: float,
+        cap: float,
+        ramp_rtt: Optional[float] = None,
+        ramp_limit: float = math.inf,
+    ) -> None:
         if total_bytes <= 0:
             raise ConfigError(f"flow size must be positive, got {total_bytes}")
         if cap <= 0:
             raise ConfigError(f"flow cap must be positive, got {cap}")
+        if ramp_rtt is not None and ramp_rtt <= 0:
+            raise ConfigError(f"ramp_rtt must be positive, got {ramp_rtt}")
         self.link = link
         self.total_bytes = float(total_bytes)
         self.remaining = float(total_bytes)
@@ -85,6 +113,12 @@ class FlowHandle:
         self.done: Event = link.env.event()
         self.started_at = link.env.now
         self.finished_at: Optional[float] = None
+        self._ramp_interval = ramp_rtt
+        self._ramp_limit = float(ramp_limit)
+        if ramp_rtt is None or self.cap >= self._ramp_limit:
+            self._ramp_at: Optional[float] = None
+        else:
+            self._ramp_at = self.started_at + ramp_rtt
 
     @property
     def bytes_delivered(self) -> float:
@@ -117,6 +151,23 @@ class FlowHandle:
         failure.flow_bytes_delivered = int(self.bytes_delivered)  # type: ignore[attr-defined]
         self.done.fail(failure)
         self.done.defused = True  # caller may not be waiting anymore
+
+    def _advance_ramp(self, now: float) -> None:
+        """Apply every slow-start doubling whose instant has passed.
+
+        The small tolerance absorbs the float error of a wake-up timed
+        exactly at a doubling instant landing one ulp short of it.
+        """
+        ramp_at = self._ramp_at
+        if ramp_at is None:
+            return
+        cap = self.cap
+        limit = self._ramp_limit
+        while ramp_at is not None and now >= ramp_at - 1e-12:
+            cap = min(cap * 2.0, limit)
+            ramp_at = None if cap >= limit else ramp_at + self._ramp_interval
+        self.cap = cap
+        self._ramp_at = ramp_at
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -159,8 +210,18 @@ class Link:
     def active_flow_count(self) -> int:
         return len(self._flows)
 
-    def start_flow(self, total_bytes: float, cap: float = math.inf) -> FlowHandle:
+    def start_flow(
+        self,
+        total_bytes: float,
+        cap: float = math.inf,
+        ramp_rtt: Optional[float] = None,
+        ramp_limit: float = math.inf,
+    ) -> FlowHandle:
         """Begin transferring ``total_bytes`` through the link.
+
+        ``ramp_rtt``/``ramp_limit`` arm the closed-form slow-start
+        schedule: the cap doubles every ``ramp_rtt`` seconds until it
+        reaches ``ramp_limit`` (both in bytes/s terms on the cap).
 
         Raises :class:`~repro.errors.LinkDownError` immediately if the
         link is down — starting a transfer needs connectivity, whereas
@@ -168,7 +229,7 @@ class Link:
         """
         if self._down:
             raise LinkDownError(f"{self.name} is down")
-        flow = FlowHandle(self, total_bytes, cap)
+        flow = FlowHandle(self, total_bytes, cap, ramp_rtt=ramp_rtt, ramp_limit=ramp_limit)
         self._settle()
         self._flows.append(flow)
         self._state_changed(settled=True)
@@ -219,10 +280,24 @@ class Link:
             self._state_changed(settled=True)
 
     def _state_changed(self, settled: bool = False) -> None:
-        """Recompute allocation and (re)arm the next completion wake-up."""
+        """Recompute allocation and (re)arm the next wake-up.
+
+        The wake-up is the earliest of (a) the next flow completion at
+        current rates and (b) the next slow-start doubling of a flow
+        whose cap currently binds its rate — the closed-form substitute
+        for the per-exchange pacer process.
+        """
         if not settled:
             self._settle()
         self._version += 1
+        now = self.env.now
+
+        # Catch up the analytic slow-start schedules before allocating:
+        # every doubling instant that has passed takes effect here, so
+        # the caps are exact whenever the allocation is recomputed.
+        for flow in self._flows:
+            if flow._ramp_at is not None:
+                flow._advance_ramp(now)
 
         # Complete flows that have (numerically) hit zero remaining
         # bytes.  The microbyte tolerance absorbs float crumbs from the
@@ -233,7 +308,7 @@ class Link:
                 self._flows.remove(flow)
                 flow.rate = 0.0
                 flow.remaining = 0.0
-                flow.finished_at = self.env.now
+                flow.finished_at = now
                 flow.done.succeed(flow)
             self._version += 1
 
@@ -242,21 +317,34 @@ class Link:
         for flow, rate in zip(self._flows, rates):
             flow.rate = rate
 
-        next_completion = math.inf
+        next_event = math.inf
         for flow in self._flows:
             if flow.rate > 0:
-                next_completion = min(next_completion, flow.remaining / flow.rate)
-        if math.isfinite(next_completion):
+                next_event = min(next_event, flow.remaining / flow.rate)
+            # A doubling only changes the allocation while the cap binds
+            # (rates are exactly the cap for saturated flows); unbinding
+            # caps are advanced analytically at the next state change.
+            if flow._ramp_at is not None and flow.rate == flow.cap:
+                next_event = min(next_event, flow._ramp_at - now)
+        if math.isfinite(next_event):
             # Floor the delay at one representable step of the clock so
             # the wake-up is guaranteed to advance time (otherwise a
             # sub-ulp completion would respin at the same timestamp
             # forever).
-            minimum_step = math.ulp(self.env.now) * 4.0 + 1e-12
-            self.env.process(self._wake_after(max(next_completion, minimum_step), self._version))
+            minimum_step = math.ulp(now) * 4.0 + 1e-12
+            self._arm_wake(max(next_event, minimum_step))
 
-    def _wake_after(self, delay: float, version: int):
-        """Wake the link when the earliest completion is due (if still valid)."""
-        yield self.env.timeout(delay)
+    def _arm_wake(self, delay: float) -> None:
+        """Schedule the next allocation-change wake-up as a bare timeout.
+
+        A plain :class:`Timeout` callback replaces the former wake
+        *process*: no generator, no Initialize event — one heap entry
+        per wake.  Stale wake-ups are filtered by the version counter.
+        """
+        version = self._version
+        Timeout(self.env, delay).callbacks.append(lambda _event: self._wake(version))
+
+    def _wake(self, version: int) -> None:
         if version == self._version:
             self._state_changed()
 

@@ -14,9 +14,13 @@ choice).  What the chunk scheduler feels from TCP is:
   :class:`~repro.net.link.Link`'s max-min allocation).
 
 We model the congestion window as a *rate cap* ``cwnd / RTT`` on the
-link flow, doubled every RTT by a pacing process until the flow is no
-longer cap-limited.  The window persists across requests on a
-persistent connection and collapses back to ``IW`` after an idle period
+link flow, doubled every RTT until the flow is no longer cap-limited.
+The doubling schedule is closed-form: the link computes the doubling
+instants analytically and folds them into its next-completion wake-up
+(see :meth:`repro.net.link.Link._state_changed`), so slow start costs
+no pacer process and no per-doubling timeout events.  The window
+persists across requests on a persistent connection and collapses back
+to ``IW`` after an idle period
 (RFC 2861 congestion-window validation), which matters for the ON/OFF
 re-buffering phase: every OFF period costs a fresh ramp-up.
 
@@ -35,7 +39,6 @@ from typing import Optional
 
 from ..errors import ConfigError, ConnectionClosedError, LinkDownError, NetworkError
 from .env import Environment
-from .events import Event
 from .latency import LatencyProcess
 from .link import FlowHandle, Link
 from .tls import TLSParams, tls_handshake_duration
@@ -175,8 +178,8 @@ class TCPConnection:
            one RTT plus ``server_delay`` (requests are header-sized, so
            their serialization time is negligible against the RTT);
         2. response body as a fluid flow on the link, rate-capped by the
-           congestion window, which a pacer doubles every RTT (slow
-           start) until the cap stops binding.
+           congestion window, which the link's closed-form slow-start
+           schedule doubles every RTT until the cap stops binding.
         """
         self._check_usable()
         if response_bytes <= 0:
@@ -198,15 +201,29 @@ class TCPConnection:
                 raise LinkDownError(f"{self.name}: link down at first byte")
             first_byte_at = self.env.now
 
-            flow = self.link.start_flow(response_bytes, cap=self._cwnd / rtt)
+            flow = self.link.start_flow(
+                response_bytes,
+                cap=self._cwnd / rtt,
+                ramp_rtt=rtt,
+                ramp_limit=float(self.params.max_window) / rtt,
+            )
             self._current_flow = flow
-            pacer = self.env.process(self._slow_start_pacer(flow, rtt))
             try:
                 yield flow.done
+            except BaseException:
+                # Aborted mid-transfer: warm the next request with the
+                # window the ramp had reached.  Catch the cap up first —
+                # the link stops advancing a detached flow's schedule.
+                flow._advance_ramp(self.env.now)
+                self._cwnd = float(
+                    min(
+                        max(flow.cap * rtt, self.params.initial_window_bytes),
+                        self.params.max_window,
+                    )
+                )
+                raise
             finally:
                 self._current_flow = None
-                if pacer.is_alive:
-                    pacer.interrupt("transfer finished")
             completed_at = self.env.now
             self.bytes_received += response_bytes
             self._last_activity = completed_at
@@ -221,22 +238,6 @@ class TCPConnection:
             return TransferResult(requested_at, first_byte_at, completed_at, response_bytes)
         finally:
             self._busy = False
-
-    def _slow_start_pacer(self, flow: FlowHandle, rtt: float):
-        """Double the flow's cap each RTT while it still binds (slow start)."""
-        from ..errors import Interrupt
-
-        cwnd = self._cwnd
-        try:
-            while flow.active and cwnd < self.params.max_window:
-                yield self.env.timeout(rtt)
-                if not flow.active:
-                    return
-                cwnd = min(cwnd * 2.0, float(self.params.max_window))
-                self._cwnd = cwnd
-                flow.set_cap(cwnd / rtt)
-        except Interrupt:
-            return
 
     # -- internals ---------------------------------------------------------------
 

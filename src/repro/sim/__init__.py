@@ -15,7 +15,11 @@ the paper, as code:
 * :mod:`repro.sim.runner` — repeated-trial experiment execution with
   derived seeds (the paper randomizes configuration order over 20
   repetitions; we give each (configuration, trial) an independent
-  random substream).
+  random substream);
+* :mod:`repro.sim.execution` — the trial execution engine: declarative
+  picklable trial/driver specs and pluggable serial/process backends,
+  so independent trials fan out over a process pool with results
+  byte-identical to a serial run.
 """
 
 from .profiles import (
@@ -28,9 +32,31 @@ from .profiles import (
 from .scenario import Scenario, ScenarioConfig
 from .driver import MSPlayerDriver, SessionOutcome
 from .singlepath import SinglePathDriver
+from .execution import (
+    DriverFactory,
+    MPTCPLikeSpec,
+    MSPlayerSpec,
+    ProcessEngine,
+    SerialEngine,
+    SessionDriver,
+    SinglePathSpec,
+    TrialSpec,
+    resolve_engine,
+    run_trial,
+)
 from .runner import TrialRunner, TrialResult
 
 __all__ = [
+    "DriverFactory",
+    "MPTCPLikeSpec",
+    "MSPlayerSpec",
+    "ProcessEngine",
+    "SerialEngine",
+    "SessionDriver",
+    "SinglePathSpec",
+    "TrialSpec",
+    "resolve_engine",
+    "run_trial",
     "InterfaceProfile",
     "NetworkProfile",
     "testbed_profile",

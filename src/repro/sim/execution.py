@@ -1,0 +1,273 @@
+"""Trial execution engine: pluggable backends for i.i.d. trials.
+
+The paper repeats every configuration 20 times (§5.2), and the
+``(root_seed, config_label, trial_index)`` seed derivation makes those
+repetitions *embarrassingly parallel*: a :class:`TrialSpec` carries
+everything one trial needs — profile factory, scenario config, seed,
+and a declarative driver spec — so it can be shipped to a worker
+process and executed there bit-identically to a local run.
+
+Backends:
+
+* :class:`SerialEngine` — in-process, one trial after another;
+* :class:`ProcessEngine` — ``concurrent.futures.ProcessPoolExecutor``
+  with chunked dispatch; worker pools are shared across campaigns so a
+  figure sweep pays the fork cost once;
+* ``auto`` (via :func:`resolve_engine`) — a process engine sized to the
+  machine that silently falls back to serial when a spec cannot be
+  pickled (e.g. a hand-written closure factory).
+
+Determinism is the acceptance bar: ``engine.map(specs)`` returns
+outcomes in spec order, and every trial derives its randomness from its
+own seed, so parallel results are byte-identical to serial ones for the
+same root seed.  Select a backend with ``TrialRunner(jobs=...)``,
+``repro experiment --jobs N``, or the ``REPRO_JOBS`` environment
+variable (``N``, ``auto``, or ``serial``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from ..core.config import PlayerConfig
+from ..errors import ConfigError
+from .driver import MSPlayerDriver, SessionOutcome
+from .profiles import NetworkProfile
+from .scenario import Scenario, ScenarioConfig
+from .singlepath import HTML5_CHUNK, SinglePathDriver
+
+
+@runtime_checkable
+class SessionDriver(Protocol):
+    """What a trial executes: anything that runs to a SessionOutcome."""
+
+    def run(self) -> SessionOutcome: ...
+
+
+#: A driver factory: scenario -> a driver whose run() yields the outcome.
+DriverFactory = Callable[[Scenario], SessionDriver]
+
+#: Optional scenario mutation applied before the driver is built
+#: (failure injection and the like).  Must be picklable — i.e. a
+#: module-level function — to run on a process backend.
+ScenarioHook = Callable[[Scenario], None]
+
+
+# ---------------------------------------------------------------------------
+# Declarative driver specs (picklable DriverFactory implementations)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MSPlayerSpec:
+    """Declarative stand-in for an ``MSPlayerDriver`` factory closure."""
+
+    config: PlayerConfig = field(default_factory=PlayerConfig)
+    stop: str = "prebuffer"
+    target_cycles: int = 3
+
+    def __call__(self, scenario: Scenario) -> MSPlayerDriver:
+        return MSPlayerDriver(
+            scenario, config=self.config, stop=self.stop, target_cycles=self.target_cycles
+        )
+
+
+@dataclass(frozen=True)
+class SinglePathSpec:
+    """Factory spec for the fixed-chunk single-path baseline player."""
+
+    iface_index: int = 0
+    chunk_bytes: int = HTML5_CHUNK
+    config: PlayerConfig = field(default_factory=PlayerConfig)
+    stop: str = "prebuffer"
+    target_cycles: int = 3
+
+    def __call__(self, scenario: Scenario) -> SinglePathDriver:
+        return SinglePathDriver(
+            scenario,
+            iface_index=self.iface_index,
+            chunk_bytes=self.chunk_bytes,
+            config=self.config,
+            stop=self.stop,
+            target_cycles=self.target_cycles,
+        )
+
+
+@dataclass(frozen=True)
+class MPTCPLikeSpec:
+    """Factory spec for the single-server MPTCP-like baseline (EXP-X2)."""
+
+    config: PlayerConfig = field(default_factory=PlayerConfig)
+    stop: str = "prebuffer"
+    target_cycles: int = 3
+
+    def __call__(self, scenario: Scenario) -> SessionDriver:
+        # Imported lazily: repro.baselines.mptcp itself imports from
+        # repro.sim, and a module-level import would close that cycle.
+        from ..baselines.mptcp import MPTCPLikeDriver
+
+        return MPTCPLikeDriver(
+            scenario, config=self.config, stop=self.stop, target_cycles=self.target_cycles
+        )
+
+
+# ---------------------------------------------------------------------------
+# Trial specs and the worker entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything one (configuration, trial) pair needs, self-contained."""
+
+    label: str
+    trial: int
+    seed: int
+    profile_factory: Callable[[], NetworkProfile]
+    driver: DriverFactory
+    scenario_config: ScenarioConfig = field(default_factory=ScenarioConfig)
+    scenario_hook: Optional[ScenarioHook] = None
+
+
+def run_trial(spec: TrialSpec) -> SessionOutcome:
+    """Execute one trial start to finish (the process-pool work unit)."""
+    scenario = Scenario(
+        spec.profile_factory(), seed=spec.seed, config=spec.scenario_config
+    )
+    if spec.scenario_hook is not None:
+        spec.scenario_hook(scenario)
+    return spec.driver(scenario).run()
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionEngine(Protocol):
+    """Maps trial specs to outcomes, preserving spec order."""
+
+    name: str
+    jobs: int
+
+    def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]: ...
+
+
+class SerialEngine:
+    """Run every trial in-process, one after another."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]:
+        return [run_trial(spec) for spec in specs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialEngine()"
+
+
+#: Shared worker pools, keyed by worker count.  A figure sweep calls
+#: ``TrialRunner.run`` once per configuration; reusing the pool means
+#: the campaign pays the fork cost once, not once per configuration.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+class ProcessEngine:
+    """Fan trials out over a process pool with chunked dispatch.
+
+    ``fallback_to_serial`` is the ``auto`` behaviour: specs that cannot
+    be pickled (hand-written closure factories) run serially instead of
+    erroring.  An explicitly requested process engine raises, with a
+    pointer at the declarative specs, so the misconfiguration is loud.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, fallback_to_serial: bool = False) -> None:
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.fallback_to_serial = fallback_to_serial
+        self.name = "auto" if fallback_to_serial else "process"
+
+    def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]:
+        specs = list(specs)
+        if len(specs) <= 1 or self.jobs == 1:
+            return [run_trial(spec) for spec in specs]
+        try:
+            # A batch is homogeneous (one driver spec, one hook, one
+            # profile factory), so probing one spec decides for all at
+            # 1/len(specs) of the serialization cost.
+            pickle.dumps(specs[0])
+        except Exception as exc:
+            if self.fallback_to_serial:
+                return [run_trial(spec) for spec in specs]
+            raise ConfigError(
+                f"trial specs for {specs[0].label!r} are not picklable ({exc}); "
+                "use declarative driver specs (MSPlayerSpec / SinglePathSpec / "
+                "MPTCPLikeSpec) and module-level scenario hooks, or run serially"
+            ) from None
+        # Chunked dispatch: ~4 chunks per active worker balances IPC
+        # overhead against tail latency from uneven trial durations.
+        active = min(self.jobs, len(specs))
+        chunksize = max(1, -(-len(specs) // (active * 4)))
+        # The pool is sized (and keyed) by self.jobs, not the batch:
+        # idle workers are harmless, and campaigns with varying trial
+        # counts then reuse one pool instead of forking per count.
+        pool = _shared_pool(self.jobs)
+        return list(pool.map(run_trial, specs, chunksize=chunksize))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessEngine(jobs={self.jobs}, name={self.name!r})"
+
+
+def resolve_engine(jobs: Union[int, str, ExecutionEngine, None] = None) -> ExecutionEngine:
+    """Turn a ``--jobs`` / ``REPRO_JOBS``-style value into an engine.
+
+    * ``None`` — consult ``REPRO_JOBS``; unset means serial;
+    * ``"serial"`` / ``1`` — in-process execution;
+    * ``"auto"`` / ``0`` — one worker per CPU, serial fallback for
+      unpicklable specs;
+    * ``N`` / ``"N"`` — a process pool of N workers;
+    * an engine instance — passed through unchanged.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS") or "serial"
+    if not isinstance(jobs, (int, str)) and hasattr(jobs, "map"):
+        # Any ExecutionEngine implementation, not just the built-ins.
+        return jobs
+    if isinstance(jobs, str):
+        token = jobs.strip().lower()
+        if token in ("", "serial", "1"):
+            return SerialEngine()
+        if token in ("auto", "0", "process"):
+            return ProcessEngine(fallback_to_serial=True)
+        try:
+            jobs = int(token)
+        except ValueError:
+            raise ConfigError(
+                f"unknown jobs value {token!r}; expected an integer, 'auto', or 'serial'"
+            ) from None
+    if jobs == 0:
+        return ProcessEngine(fallback_to_serial=True)
+    if jobs == 1:
+        return SerialEngine()
+    return ProcessEngine(jobs)

@@ -9,19 +9,43 @@ substream, which :class:`TrialRunner` does via
 fresh :class:`~repro.sim.scenario.Scenario`, so trials are i.i.d. and
 embarrassingly reproducible: ``(root_seed, config_label, trial_index)``
 fully determines a result.
+
+That independence is also what makes trials embarrassingly *parallel*:
+the runner hands declarative :class:`~repro.sim.execution.TrialSpec`
+batches to a pluggable :class:`~repro.sim.execution.ExecutionEngine`
+(``jobs=1`` serial, ``jobs=N``/``"auto"`` a process pool), and the
+engine guarantees outcomes come back in trial order — parallel results
+are byte-identical to serial ones for the same root seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional, Union
 
 from ..core.config import PlayerConfig
 from ..rng import RngFactory
-from .driver import MSPlayerDriver, SessionOutcome
+from .driver import SessionOutcome
+from .execution import (
+    DriverFactory,
+    ExecutionEngine,
+    MPTCPLikeSpec,
+    MSPlayerSpec,
+    ScenarioHook,
+    SessionDriver,
+    SinglePathSpec,
+    TrialSpec,
+    resolve_engine,
+)
 from .profiles import NetworkProfile
-from .scenario import Scenario, ScenarioConfig
-from .singlepath import SinglePathDriver
+from .scenario import ScenarioConfig
+
+__all__ = [
+    "DriverFactory",
+    "SessionDriver",
+    "TrialResult",
+    "TrialRunner",
+]
 
 
 @dataclass
@@ -46,10 +70,6 @@ class TrialResult:
         return [o.metrics.traffic_fraction(path_id, phase) for o in self.outcomes]
 
 
-#: A driver factory: scenario -> something with .run() -> SessionOutcome.
-DriverFactory = Callable[[Scenario], object]
-
-
 class TrialRunner:
     """Runs driver factories over fresh scenarios with derived seeds."""
 
@@ -59,27 +79,47 @@ class TrialRunner:
         scenario_config: ScenarioConfig | None = None,
         root_seed: int = 20141202,  # CoNEXT'14 started Dec 2, 2014
         trials: int = 20,  # the paper's repetition count (§5.2)
+        jobs: Union[int, str, None] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.profile_factory = profile_factory
         self.scenario_config = scenario_config or ScenarioConfig()
         self.root = RngFactory(root_seed)
         self.trials = trials
+        self.engine = engine if engine is not None else resolve_engine(jobs)
 
     def seed_for(self, label: str, trial: int) -> int:
         return self.root.child(label).integer(f"trial-{trial}")
 
-    def run(self, label: str, make_driver: DriverFactory) -> TrialResult:
-        """Execute ``trials`` independent runs of one configuration."""
-        result = TrialResult(label)
-        for trial in range(self.trials):
-            scenario = Scenario(
-                self.profile_factory(),
+    def specs_for(
+        self,
+        label: str,
+        make_driver: DriverFactory,
+        scenario_hook: Optional[ScenarioHook] = None,
+    ) -> list[TrialSpec]:
+        """The trial batch ``run`` hands to the execution engine."""
+        return [
+            TrialSpec(
+                label=label,
+                trial=trial,
                 seed=self.seed_for(label, trial),
-                config=self.scenario_config,
+                profile_factory=self.profile_factory,
+                driver=make_driver,
+                scenario_config=self.scenario_config,
+                scenario_hook=scenario_hook,
             )
-            driver = make_driver(scenario)
-            result.outcomes.append(driver.run())  # type: ignore[attr-defined]
-        return result
+            for trial in range(self.trials)
+        ]
+
+    def run(
+        self,
+        label: str,
+        make_driver: DriverFactory,
+        scenario_hook: Optional[ScenarioHook] = None,
+    ) -> TrialResult:
+        """Execute ``trials`` independent runs of one configuration."""
+        specs = self.specs_for(label, make_driver, scenario_hook)
+        return TrialResult(label, self.engine.map(specs))
 
     # -- canned factories ---------------------------------------------------------
 
@@ -88,13 +128,8 @@ class TrialRunner:
         config: PlayerConfig,
         stop: str = "prebuffer",
         target_cycles: int = 3,
-    ) -> DriverFactory:
-        def factory(scenario: Scenario) -> MSPlayerDriver:
-            return MSPlayerDriver(
-                scenario, config=config, stop=stop, target_cycles=target_cycles
-            )
-
-        return factory
+    ) -> MSPlayerSpec:
+        return MSPlayerSpec(config=config, stop=stop, target_cycles=target_cycles)
 
     def singlepath(
         self,
@@ -103,15 +138,19 @@ class TrialRunner:
         config: PlayerConfig,
         stop: str = "prebuffer",
         target_cycles: int = 3,
-    ) -> DriverFactory:
-        def factory(scenario: Scenario) -> SinglePathDriver:
-            return SinglePathDriver(
-                scenario,
-                iface_index=iface_index,
-                chunk_bytes=chunk_bytes,
-                config=config,
-                stop=stop,
-                target_cycles=target_cycles,
-            )
+    ) -> SinglePathSpec:
+        return SinglePathSpec(
+            iface_index=iface_index,
+            chunk_bytes=chunk_bytes,
+            config=config,
+            stop=stop,
+            target_cycles=target_cycles,
+        )
 
-        return factory
+    def mptcp(
+        self,
+        config: PlayerConfig,
+        stop: str = "prebuffer",
+        target_cycles: int = 3,
+    ) -> MPTCPLikeSpec:
+        return MPTCPLikeSpec(config=config, stop=stop, target_cycles=target_cycles)

@@ -19,6 +19,8 @@ are identical in definition to MSPlayer's.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..cdn.deployment import PROXY_DNS_NAME
 from ..cdn.jsonapi import VideoInfo, parse_video_info
 from ..cdn.signature import decipher
@@ -259,3 +261,11 @@ class SinglePathDriver:
         if self.buffer is None:
             raise CDNError("buffer not initialised (bootstrap incomplete)")
         return self.buffer
+
+
+if TYPE_CHECKING:  # pragma: no cover - static conformance declaration
+
+    def _declares_session_driver(driver: SinglePathDriver) -> "SessionDriver":
+        return driver
+
+    from .execution import SessionDriver

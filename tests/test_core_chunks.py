@@ -151,10 +151,21 @@ class TestLedgerInvariantsProperty:
     @settings(max_examples=80, deadline=None)
     @given(st.integers(min_value=1, max_value=50_000), operations)
     def test_random_walk_preserves_invariants(self, total, ops):
+        # The walk applies the same assignment gate PlayerSession does
+        # (§2: at most `max_out_of_order` completed-but-gapped chunks):
+        # the ledger *measures* out-of-order accumulation, the session
+        # bounds it, and without the gate the bound genuinely does not
+        # hold (one path stalled forever while the other keeps
+        # completing later ranges grows the backlog without limit).
+        max_out_of_order = 1
         ledger = ChunkLedger(total)
         for kind, path_id, amount in ops:
             in_flight = ledger.in_flight_for(path_id)
             if kind == "assign" and in_flight is None:
+                if ledger.out_of_order_count >= max_out_of_order:
+                    next_start = ledger.peek_next_start()
+                    if next_start is None or next_start > ledger.contiguous_frontier:
+                        continue
                 ledger.assign(path_id, amount)
             elif kind == "complete" and in_flight is not None:
                 ledger.complete_assignment(path_id)

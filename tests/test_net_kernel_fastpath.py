@@ -1,0 +1,234 @@
+"""Kernel fast paths: slotted events, clone-free resume, closed-form slow start.
+
+These pin the microbehaviour the perf work must not change:
+
+* yielding an *already-processed* event resumes the process at the same
+  timestamp with the event's original outcome (success and failure);
+* an interrupt racing that fast-path resume loses the same way it lost
+  against the old clone-event implementation: the resume runs first,
+  the interrupt lands at the process's next wait point;
+* the link's analytic slow-start schedule reproduces the doubling
+  timeline the per-exchange pacer process used to produce.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, Interrupt
+from repro.net.bandwidth import ConstantBandwidth
+from repro.net.link import Link
+
+
+class TestSlots:
+    def test_event_types_reject_stray_attributes(self, env):
+        event = env.event()
+        timeout = env.timeout(1.0)
+
+        def proc(env):
+            yield env.timeout(0.0)
+
+        process = env.process(proc(env))
+        for obj in (event, timeout, process):
+            with pytest.raises(AttributeError):
+                obj.stray_attribute = 1
+        env.run()
+
+    def test_no_instance_dict(self, env):
+        assert not hasattr(env.event(), "__dict__")
+        assert not hasattr(env.timeout(1.0), "__dict__")
+
+
+class TestProcessedTargetResume:
+    def test_yielding_processed_event_delivers_value_same_time(self, env):
+        early = env.timeout(1.0, value="payload")
+        seen = []
+
+        def late_waiter(env):
+            yield env.timeout(2.0)
+            value = yield early  # processed a full second ago
+            seen.append((env.now, value))
+
+        env.process(late_waiter(env))
+        env.run()
+        assert seen == [(2.0, "payload")]
+
+    def test_yielding_processed_failure_raises_in_waiter(self, env):
+        failed = env.event()
+        failed.fail(ValueError("boom"))
+        failed.defused = True  # nobody waits at its own dispatch
+
+        def late_waiter(env):
+            yield env.timeout(1.0)
+            try:
+                yield failed
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = env.process(late_waiter(env))
+        env.run()
+        assert process.value == "caught boom"
+
+    def test_resume_ordering_is_fifo_among_urgent_events(self, env):
+        """Two processes yielding processed events resume in the order
+        they yielded, ahead of co-timed NORMAL events."""
+        early = env.timeout(1.0, value="x")
+        order = []
+
+        def make_waiter(name):
+            def waiter(env):
+                yield env.timeout(2.0)
+                yield early
+                order.append(name)
+
+            return waiter
+
+        def normal_timer(env):
+            yield env.timeout(2.0)
+            yield env.timeout(0.0)  # NORMAL event at t=2
+            order.append("timer")
+
+        env.process(make_waiter("first")(env))
+        env.process(make_waiter("second")(env))
+        env.process(normal_timer(env))
+        env.run()
+        assert order == ["first", "second", "timer"]
+
+    def test_interrupt_vs_fastpath_resume_race(self, env):
+        """An interrupt issued while a fast-path resume is pending is
+        delivered *after* the resume, at the next wait point."""
+        early = env.timeout(1.0, value="x")
+        seen = []
+
+        def victim(env):
+            yield env.timeout(2.0)
+            value = yield early  # pending fast-path resume at t=2
+            seen.append(("resumed", env.now, value))
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                seen.append(("interrupted", env.now, interrupt.cause))
+
+        process = env.process(victim(env))
+
+        def interrupter(env):
+            yield env.timeout(2.0)
+            process.interrupt("race")
+
+        env.process(interrupter(env))
+        env.run()
+        assert seen == [("resumed", 2.0, "x"), ("interrupted", 2.0, "race")]
+
+    def test_stale_direct_resume_dropped_after_interrupt(self, env):
+        """A pending fast-path resume whose process was meanwhile moved
+        on by an interrupt must be dropped, not delivered: the old
+        clone-event path deregistered via callbacks.remove, and the
+        direct entry needs the equivalent staleness guard."""
+        e1 = env.timeout(0.5, value="one")
+        e2 = env.timeout(0.5, value="two")
+        # Both processes wake from the same event, so the attacker's
+        # interrupt is issued inside the same callback cascade — after
+        # the victim queued its fast-path resume, before it dispatched.
+        shared = env.timeout(1.0)
+        trace = []
+
+        def victim(env):
+            yield shared
+            value = yield e1  # fast-path resume pending at t=1
+            trace.append(("resumed", env.now, value))
+            try:
+                yield e2  # second fast-path entry, queued behind the interrupt
+                trace.append(("not-reached", env.now))
+            except Interrupt:
+                trace.append(("interrupted", env.now))
+                yield env.timeout(5.0)
+                trace.append(("slept", env.now))
+
+        process = env.process(victim(env))
+
+        def attacker(env):
+            yield shared
+            process.interrupt()
+
+        env.process(attacker(env))
+        env.run()
+        # Without the guard the stale e2 entry re-resumes the generator
+        # at t=1, silently skipping the 5 s sleep.
+        assert trace == [("resumed", 1.0, "one"), ("interrupted", 1.0), ("slept", 6.0)]
+
+    def test_process_waiting_on_processed_event_is_interruptible(self, env):
+        # The fast path must leave the process in an interruptible state
+        # (waiting_on set): interrupt() here must not raise "process
+        # cannot interrupt itself".
+        early = env.timeout(0.5)
+
+        def victim(env):
+            yield env.timeout(1.0)
+            try:
+                yield early
+                yield env.timeout(5.0)
+            except Interrupt:
+                return "interrupted"
+
+        process = env.process(victim(env))
+
+        def interrupter(env):
+            yield env.timeout(1.0)
+            assert process.is_alive
+            process.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert process.value == "interrupted"
+
+
+class TestClosedFormSlowStart:
+    def _link(self, env, rate=1e9):
+        return Link(env, ConstantBandwidth(rate))
+
+    def test_capped_flow_doubles_on_schedule(self, env):
+        """cap₀=10 kB/s, RTT=1 s on an uncontended fat link: windows
+        deliver 10k, 20k, 40k... bytes, so 61 440 bytes complete at
+        2 + (61 440 − 30 000)/40 000 ≈ 2.786 s — the same timeline the
+        pacer process produced."""
+        link = self._link(env)
+        flow = link.start_flow(61_440, cap=10_000.0, ramp_rtt=1.0, ramp_limit=1e12)
+        env.run(until=flow.done)
+        expected = 2.0 + (61_440 - 30_000) / 40_000
+        assert env.now == pytest.approx(expected, rel=1e-9)
+
+    def test_ramp_stops_at_limit(self, env):
+        link = self._link(env, rate=1e9)
+        flow = link.start_flow(300_000, cap=10_000.0, ramp_rtt=1.0, ramp_limit=40_000.0)
+        env.run(until=flow.done)
+        # Windows: 10k, 20k, then 40k/s forever: 300k total arrives at
+        # 2 + (300k - 30k)/40k = 8.75 s.
+        assert env.now == pytest.approx(2.0 + 270_000 / 40_000, rel=1e-9)
+        assert flow.cap == pytest.approx(40_000.0)
+
+    def test_unramped_flow_behaviour_unchanged(self, env):
+        link = self._link(env, rate=1_000_000.0)
+        flow = link.start_flow(500_000)
+        env.run(until=flow.done)
+        assert env.now == pytest.approx(0.5, rel=1e-9)
+
+    def test_contended_ramp_only_wakes_while_cap_binds(self, env):
+        """A ramping flow competing with an uncapped one: the capped
+        flow's share is its cap while the cap binds; once doubled past
+        the fair share, the allocation is an even split."""
+        link = self._link(env, rate=100_000.0)
+        capped = link.start_flow(1_000_000.0, cap=10_000.0, ramp_rtt=1.0, ramp_limit=1e9)
+        open_flow = link.start_flow(1_000_000.0)
+        env.run(until=2.0)
+        # t in [0,1): capped 10k/s, open 90k/s; t in [1,2): 20k/80k.
+        assert capped.bytes_delivered == pytest.approx(30_000.0, rel=1e-6)
+        assert open_flow.bytes_delivered == pytest.approx(170_000.0, rel=1e-6)
+        env.run(until=3.0)
+        # t in [2,3): cap 40k < share? share is 50k -> capped at 40k.
+        assert capped.bytes_delivered == pytest.approx(70_000.0, rel=1e-6)
+        env.run(until=4.0)
+        # cap hit 80k > 50k share: even split from t=3.
+        assert capped.bytes_delivered == pytest.approx(120_000.0, rel=1e-6)
+
+    def test_negative_ramp_rtt_rejected(self, env):
+        link = self._link(env)
+        with pytest.raises(ConfigError):
+            link.start_flow(1000, cap=10.0, ramp_rtt=-1.0)

@@ -52,6 +52,48 @@ class TestMaxMinAllocation:
         all_capped = all(r >= c * (1 - 1e-9) for r, c in zip(rates, caps))
         assert saturated or all_capped
 
+    @staticmethod
+    def _reference_allocation(capacity, caps):
+        """The original O(n²) water-filling (sorted list + pop(0)),
+        kept verbatim as the oracle for the linear-pass rewrite."""
+        n = len(caps)
+        if n == 0:
+            return []
+        rates = [0.0] * n
+        remaining = capacity
+        unsaturated = sorted(range(n), key=lambda i: caps[i])
+        while unsaturated:
+            share = remaining / len(unsaturated)
+            lowest = unsaturated[0]
+            if caps[lowest] <= share:
+                rates[lowest] = caps[lowest]
+                remaining -= caps[lowest]
+                unsaturated.pop(0)
+            else:
+                for index in unsaturated:
+                    rates[index] = share
+                break
+        return rates
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e9),
+        st.lists(
+            st.one_of(
+                st.floats(min_value=0.001, max_value=1e9),
+                st.just(math.inf),
+            ),
+            min_size=0,
+            max_size=16,
+        ),
+    )
+    def test_linear_pass_matches_quadratic_reference(self, capacity, caps):
+        # Bit-identical, not approximately equal: the linear pass
+        # performs the same arithmetic in the same order, so simulation
+        # results cannot drift from the rewrite.
+        assert max_min_allocation(capacity, caps) == self._reference_allocation(
+            capacity, caps
+        )
+
 
 class TestLinkTransfers:
     def test_single_flow_completion_time(self, env):
