@@ -6,9 +6,14 @@ figure/table and whose ``raw`` dict carries the numbers for assertions.
 The functions accept a ``trials`` knob so CI can run quick passes and a
 full run matches the paper's 20 repetitions (§5.2), plus a ``jobs``
 knob selecting the trial execution backend (``1`` serial, ``N`` or
-``"auto"`` a process pool; see :mod:`repro.sim.execution`).  Trials are
-i.i.d. with derived seeds, so the rendered output is byte-identical
-whatever the backend.
+``"auto"`` a process pool; see :mod:`repro.sim.execution`).  Every
+trial-based experiment runs its whole sweep as one
+:class:`~repro.sim.campaign.Campaign`: all configurations' trials are
+interleaved into a single pool submission (no per-configuration
+barrier) and aggregated through the columnar
+:class:`~repro.sim.campaign.OutcomeBatch`.  Trials are i.i.d. with
+derived seeds, so the rendered output is byte-identical whatever the
+backend or submission order.
 
 Index (see DESIGN.md §4 and EXPERIMENTS.md):
 
@@ -36,6 +41,7 @@ import numpy as np
 from ..core.config import PlayerConfig
 from ..core.estimators import make_estimator
 from ..net.tls import TLSParams, eta, head_start, psi
+from ..sim.campaign import Campaign
 from ..sim.driver import MSPlayerDriver
 from ..sim.profiles import NetworkProfile, mobility_profile, testbed_profile, youtube_profile
 from ..sim.runner import TrialRunner
@@ -154,13 +160,18 @@ def fig2_prebuffer_testbed(
     trials: int = PAPER_TRIALS, seed: int = 2014, jobs: Jobs = None
 ) -> ExperimentResult:
     """WiFi vs LTE vs MSPlayer(Ratio, 1 MB) at a 40 s pre-buffer (§5.1)."""
-    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials, jobs=jobs)
+    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials)
     config = PlayerConfig(scheduler="ratio", base_chunk_bytes=1 * MB)
     baseline_config = PlayerConfig()
+    campaign = Campaign(jobs=jobs)
+    campaign.add_run(runner, "wifi", runner.singlepath(0, HTML5_CHUNK, baseline_config))
+    campaign.add_run(runner, "lte", runner.singlepath(1, HTML5_CHUNK, baseline_config))
+    campaign.add_run(runner, "msplayer", runner.msplayer(config))
+    results = campaign.run()
     samples = [
-        ("WiFi", runner.run("wifi", runner.singlepath(0, HTML5_CHUNK, baseline_config)).startup_delays()),
-        ("LTE", runner.run("lte", runner.singlepath(1, HTML5_CHUNK, baseline_config)).startup_delays()),
-        ("MSPlayer", runner.run("msplayer", runner.msplayer(config)).startup_delays()),
+        ("WiFi", results["wifi"].startup_delays()),
+        ("LTE", results["lte"].startup_delays()),
+        ("MSPlayer", results["msplayer"].startup_delays()),
     ]
     medians = {label: summarize(values).median for label, values in samples}
     reduction = 1.0 - medians["MSPlayer"] / min(medians["WiFi"], medians["LTE"])
@@ -190,25 +201,34 @@ def fig3_scheduler_sweep(
     schedulers: tuple[str, ...] = ("harmonic", "ewma", "ratio"),
     jobs: Jobs = None,
 ) -> ExperimentResult:
-    """Download time vs scheduler × pre-buffer duration × initial chunk (§5.2)."""
-    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials, jobs=jobs)
+    """Download time vs scheduler × pre-buffer duration × initial chunk (§5.2).
+
+    All ``len(prebuffers) × len(chunks) × len(schedulers)``
+    configurations go to the pool as one campaign — the whole sweep is
+    a single submission with no per-configuration barrier.
+    """
+    runner = TrialRunner(testbed_profile, root_seed=seed, trials=trials)
+    campaign = Campaign(jobs=jobs)
+    for prebuffer in prebuffers:
+        for chunk in chunks:
+            for scheduler in schedulers:
+                config = PlayerConfig(
+                    prebuffer_s=prebuffer, scheduler=scheduler, base_chunk_bytes=chunk
+                )
+                label = f"{scheduler}/{format_size(chunk)}/{prebuffer:.0f}s"
+                campaign.add_run(runner, label, runner.msplayer(config))
+    results = campaign.run()
     raw: dict[str, dict] = {}
     sections: list[str] = []
     for prebuffer in prebuffers:
         for chunk in chunks:
             samples = []
             for scheduler in schedulers:
-                config = PlayerConfig(
-                    prebuffer_s=prebuffer, scheduler=scheduler, base_chunk_bytes=chunk
-                )
                 label = f"{scheduler}/{format_size(chunk)}/{prebuffer:.0f}s"
-                result = runner.run(label, runner.msplayer(config))
-                delays = result.startup_delays()
+                delays = results[label].batch.startup_delays()
                 samples.append((scheduler, delays))
-                raw[label] = {
-                    "median": summarize(delays).median,
-                    "std": summarize(delays).std,
-                }
+                stats = summarize(delays)
+                raw[label] = {"median": stats.median, "std": stats.std}
             sections.append(
                 render_distribution_rows(
                     samples,
@@ -230,15 +250,21 @@ def fig4_prebuffer_youtube(
     jobs: Jobs = None,
 ) -> ExperimentResult:
     """Start-up delay for 20/40/60 s pre-buffers on the wide-area profile (§6)."""
-    runner = TrialRunner(youtube_profile, root_seed=seed, trials=trials, jobs=jobs)
+    runner = TrialRunner(youtube_profile, root_seed=seed, trials=trials)
+    campaign = Campaign(jobs=jobs)
+    for prebuffer in prebuffers:
+        config = PlayerConfig(prebuffer_s=prebuffer)
+        campaign.add_run(runner, f"wifi-{prebuffer}", runner.singlepath(0, HTML5_CHUNK, config))
+        campaign.add_run(runner, f"lte-{prebuffer}", runner.singlepath(1, HTML5_CHUNK, config))
+        campaign.add_run(runner, f"ms-{prebuffer}", runner.msplayer(config))
+    results = campaign.run()
     sections = []
     raw: dict[str, dict] = {}
     for prebuffer in prebuffers:
-        config = PlayerConfig(prebuffer_s=prebuffer)
         samples = [
-            ("WiFi", runner.run(f"wifi-{prebuffer}", runner.singlepath(0, HTML5_CHUNK, config)).startup_delays()),
-            ("LTE", runner.run(f"lte-{prebuffer}", runner.singlepath(1, HTML5_CHUNK, config)).startup_delays()),
-            ("MSPlayer", runner.run(f"ms-{prebuffer}", runner.msplayer(config)).startup_delays()),
+            ("WiFi", results[f"wifi-{prebuffer}"].startup_delays()),
+            ("LTE", results[f"lte-{prebuffer}"].startup_delays()),
+            ("MSPlayer", results[f"ms-{prebuffer}"].startup_delays()),
         ]
         medians = {label: summarize(values).median for label, values in samples}
         reduction = 1.0 - medians["MSPlayer"] / min(medians["WiFi"], medians["LTE"])
@@ -267,9 +293,19 @@ def fig5_rebuffer(
     target_cycles: int = 3,
     jobs: Jobs = None,
 ) -> ExperimentResult:
-    """Playout-buffer refill time: fixed 64/256 KB single path vs MSPlayer (§6)."""
-    sections = []
-    raw: dict[str, dict] = {}
+    """Playout-buffer refill time: fixed 64/256 KB single path vs MSPlayer (§6).
+
+    Each refill duration gets its own runner (the scenario's video must
+    outlast the refills), but every configuration of every duration
+    still lands in one campaign submission.
+    """
+    fixed = (
+        ("WiFi 64KB", 0, FLASH_CHUNK),
+        ("WiFi 256KB", 0, HTML5_CHUNK),
+        ("LTE 64KB", 1, FLASH_CHUNK),
+        ("LTE 256KB", 1, HTML5_CHUNK),
+    )
+    campaign = Campaign(jobs=jobs)
     for rebuffer in rebuffers:
         # Longer refills need a longer video so cycles complete.
         scenario_config = ScenarioConfig(video_duration_s=max(300.0, rebuffer * 8))
@@ -278,26 +314,28 @@ def fig5_rebuffer(
             scenario_config=scenario_config,
             root_seed=seed,
             trials=trials,
-            jobs=jobs,
         )
         config = PlayerConfig(rebuffer_fetch_s=rebuffer)
-        samples = []
-        for label, iface, chunk in (
-            ("WiFi 64KB", 0, FLASH_CHUNK),
-            ("WiFi 256KB", 0, HTML5_CHUNK),
-            ("LTE 64KB", 1, FLASH_CHUNK),
-            ("LTE 256KB", 1, HTML5_CHUNK),
-        ):
-            result = runner.run(
+        for label, iface, chunk in fixed:
+            campaign.add_run(
+                runner,
                 f"{label}-{rebuffer}",
                 runner.singlepath(iface, chunk, config, stop="cycles", target_cycles=target_cycles),
             )
-            samples.append((label, result.cycle_durations()))
-        ms_result = runner.run(
+        campaign.add_run(
+            runner,
             f"ms-{rebuffer}",
             runner.msplayer(config, stop="cycles", target_cycles=target_cycles),
         )
-        samples.append(("MSPlayer", ms_result.cycle_durations()))
+    results = campaign.run()
+    sections = []
+    raw: dict[str, dict] = {}
+    for rebuffer in rebuffers:
+        samples = [
+            (label, results[f"{label}-{rebuffer}"].cycle_durations())
+            for label, _iface, _chunk in fixed
+        ]
+        samples.append(("MSPlayer", results[f"ms-{rebuffer}"].cycle_durations()))
         raw[f"{rebuffer:.0f}s"] = {
             label: summarize(values).median for label, values in samples if values
         }
@@ -322,8 +360,7 @@ def table1_traffic_fraction(
     jobs: Jobs = None,
 ) -> ExperimentResult:
     """Mean ± std of WiFi's byte share, pre- and re-buffering (§6)."""
-    rows = []
-    raw: dict[str, dict[str, float]] = {}
+    campaign = Campaign(jobs=jobs)
     for duration in durations:
         scenario_config = ScenarioConfig(video_duration_s=max(300.0, duration * 8))
         runner = TrialRunner(
@@ -331,14 +368,18 @@ def table1_traffic_fraction(
             scenario_config=scenario_config,
             root_seed=seed,
             trials=trials,
-            jobs=jobs,
         )
         config = PlayerConfig(prebuffer_s=duration, rebuffer_fetch_s=duration)
-        result = runner.run(
-            f"t1-{duration}", runner.msplayer(config, stop="cycles", target_cycles=3)
+        campaign.add_run(
+            runner, f"t1-{duration}", runner.msplayer(config, stop="cycles", target_cycles=3)
         )
-        pre = result.traffic_fractions(0, "prebuffer")
-        re = result.traffic_fractions(0, "rebuffer")
+    results = campaign.run()
+    rows = []
+    raw: dict[str, dict[str, float]] = {}
+    for duration in durations:
+        batch = results[f"t1-{duration}"].batch
+        pre = batch.traffic_fractions(0, "prebuffer")
+        re = batch.traffic_fractions(0, "rebuffer")
         raw[f"{duration:.0f}s"] = {
             "prebuffer_mean": float(np.mean(pre)),
             "prebuffer_std": float(np.std(pre)),
@@ -396,55 +437,57 @@ def x1_robustness(trials: int = 10, seed: int = 2019, jobs: Jobs = None) -> Expe
         scenario_config=ScenarioConfig(video_duration_s=180.0),
         root_seed=seed,
         trials=trials,
-        jobs=jobs,
     )
-    config = PlayerConfig()
-    ms = runner.run("x1-ms", runner.msplayer(config, stop="full"))
-    sp = runner.run("x1-wifi", runner.singlepath(0, HTML5_CHUNK, config, stop="full"))
-    ms_stalls = [o.metrics.total_stall_time for o in ms.outcomes]
-    sp_stalls = [o.metrics.total_stall_time for o in sp.outcomes]
-    sp_failed = sum(1 for o in sp.outcomes if o.stop_reason.startswith("failed"))
-    raw["wifi-outage"] = {
-        "msplayer_mean_stall_s": float(np.mean(ms_stalls)),
-        "singlepath_mean_stall_s": float(np.mean(sp_stalls)),
-        "singlepath_aborted_sessions": sp_failed,
-        "msplayer_failovers": sum(o.metrics.failovers for o in ms.outcomes),
-    }
-    rows.append(
-        {
-            "scenario": "WiFi outage 15-75 s",
-            "MSPlayer stall (mean s)": f"{np.mean(ms_stalls):.2f}",
-            "single-path outcome": f"{sp_failed}/{trials} sessions aborted",
-        }
-    )
-
-    # (b) primary video-server crash at 10 s: source failover inside a network.
+    # (b) primary video-server crash at 10 s: source failover inside a
+    # network.  Both sub-experiments (their own profiles and root
+    # seeds) share one campaign submission.
     runner2 = TrialRunner(
         youtube_profile,
         scenario_config=ScenarioConfig(video_duration_s=180.0),
         root_seed=seed + 1,
         trials=trials,
-        jobs=jobs,
     )
-    crashed = runner2.run(
+    config = PlayerConfig()
+    campaign = Campaign(jobs=jobs)
+    campaign.add_run(runner, "x1-ms", runner.msplayer(config, stop="full"))
+    campaign.add_run(runner, "x1-wifi", runner.singlepath(0, HTML5_CHUNK, config, stop="full"))
+    campaign.add_run(
+        runner2,
         "x1-crash",
         runner2.msplayer(config, stop="full"),
         scenario_hook=_crash_primary_video_host,
     )
-    failovers = [o.metrics.failovers for o in crashed.outcomes]
-    stalls = [o.metrics.total_stall_time for o in crashed.outcomes]
-    finished = sum(1 for o in crashed.outcomes if o.stop_reason == "playback-finished")
+    results = campaign.run()
+
+    ms, sp = results["x1-ms"].batch, results["x1-wifi"].batch
+    sp_failed = int(np.sum(np.char.startswith(sp.stop_reasons, "failed")))
+    raw["wifi-outage"] = {
+        "msplayer_mean_stall_s": float(np.mean(ms.total_stall)),
+        "singlepath_mean_stall_s": float(np.mean(sp.total_stall)),
+        "singlepath_aborted_sessions": sp_failed,
+        "msplayer_failovers": int(np.sum(ms.failovers)),
+    }
+    rows.append(
+        {
+            "scenario": "WiFi outage 15-75 s",
+            "MSPlayer stall (mean s)": f"{np.mean(ms.total_stall):.2f}",
+            "single-path outcome": f"{sp_failed}/{trials} sessions aborted",
+        }
+    )
+
+    crashed = results["x1-crash"].batch
+    finished = int(np.sum(crashed.stop_reasons == "playback-finished"))
     raw["server-crash"] = {
-        "mean_failovers": float(np.mean(failovers)),
-        "mean_stall_s": float(np.mean(stalls)),
+        "mean_failovers": float(np.mean(crashed.failovers)),
+        "mean_stall_s": float(np.mean(crashed.total_stall)),
         "sessions_finished": finished,
     }
     rows.append(
         {
             "scenario": "video server crash @10 s",
-            "MSPlayer stall (mean s)": f"{np.mean(stalls):.2f}",
+            "MSPlayer stall (mean s)": f"{np.mean(crashed.total_stall):.2f}",
             "single-path outcome": f"{finished}/{trials} MSPlayer sessions finished "
-            f"({np.mean(failovers):.1f} failovers avg)",
+            f"({np.mean(crashed.failovers):.1f} failovers avg)",
         }
     )
     rendered = format_table(rows, title="EXP-X1 — robustness (mobility + server failure)")
@@ -464,12 +507,14 @@ def x2_source_diversity(trials: int = 10, seed: int = 2020, jobs: Jobs = None) -
         scenario_config=scenario_config,
         root_seed=seed,
         trials=trials,
-        jobs=jobs,
     )
     config = PlayerConfig()
 
-    ms = runner.run("x2-ms", runner.msplayer(config))
-    mp = runner.run("x2-mptcp", runner.mptcp(config, stop="prebuffer"))
+    campaign = Campaign(jobs=jobs)
+    campaign.add_run(runner, "x2-ms", runner.msplayer(config))
+    campaign.add_run(runner, "x2-mptcp", runner.mptcp(config, stop="prebuffer"))
+    results = campaign.run()
+    ms, mp = results["x2-ms"], results["x2-mptcp"]
 
     def concentration(outcomes) -> float:
         tops = []

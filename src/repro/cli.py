@@ -79,8 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         default=None,
         metavar="N",
-        help="trial execution backend: an integer worker count, 'auto' "
-        "(one per CPU), or 'serial' (default; REPRO_JOBS env overrides)",
+        help="trial execution backend for the figure's campaign: an integer "
+        "worker count, 'auto' (one per CPU), or 'serial' (default; "
+        "REPRO_JOBS env overrides).  A whole-figure sweep is submitted "
+        "as one campaign — every configuration's trials interleaved "
+        "into a single pool submission, no per-configuration barrier",
     )
 
     adaptive = sub.add_parser("adaptive", help="run the DASH-extension player (§7)")

@@ -19,7 +19,11 @@ the paper, as code:
 * :mod:`repro.sim.execution` — the trial execution engine: declarative
   picklable trial/driver specs and pluggable serial/process backends,
   so independent trials fan out over a process pool with results
-  byte-identical to a serial run.
+  byte-identical to a serial run;
+* :mod:`repro.sim.campaign` — campaign-level scheduling (all of a
+  figure's configurations interleaved into one pool submission, no
+  per-configuration barrier) and columnar outcome aggregation
+  (:class:`~repro.sim.campaign.OutcomeBatch`).
 """
 
 from .profiles import (
@@ -44,6 +48,7 @@ from .execution import (
     resolve_engine,
     run_trial,
 )
+from .campaign import Campaign, OutcomeBatch
 from .runner import TrialRunner, TrialResult
 
 __all__ = [
@@ -69,4 +74,6 @@ __all__ = [
     "SinglePathDriver",
     "TrialRunner",
     "TrialResult",
+    "Campaign",
+    "OutcomeBatch",
 ]

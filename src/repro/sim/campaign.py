@@ -1,0 +1,309 @@
+"""Campaign-level trial scheduling and columnar outcome aggregation.
+
+PR-1 parallelized *within* one configuration: ``TrialRunner.run`` hands
+its 20 specs to the engine and blocks until all of them return before
+the sweep moves to the next configuration.  That barrier is artificial
+— the paper's seed derivation (``root_seed, label, trial``) makes every
+trial of every configuration independent — so a figure sweep can feed
+the pool *all* of its specs at once and let the scheduler keep every
+worker busy across configuration boundaries.  :class:`Campaign` does
+exactly that:
+
+* configurations register their spec batches with :meth:`Campaign.add`
+  (order of registration is the configuration order of the figure);
+* :meth:`Campaign.run` interleaves the batches round-robin into one
+  ``engine.map`` submission — trial *i* of every configuration before
+  trial *i+1* of any, so heterogeneous trial durations spread evenly
+  over the pool's chunks — and demultiplexes the outcomes back into one
+  :class:`TrialResult` per label, in per-label trial order.
+
+Determinism: every trial builds its whole world from its own derived
+seed, so execution order is irrelevant to the outcomes and the
+campaign's per-label results are byte-identical to the per-configuration
+``TrialRunner.run`` path for the same root seed (asserted in
+``tests/test_sim_campaign.py`` for fig3 and table1, serial and auto).
+
+Aggregation: outcomes land in a columnar :class:`OutcomeBatch` — numpy
+arrays for start-up delays, completed cycle durations (CSR layout), and
+per-path/per-phase traffic bytes — so the analysis layer computes
+statistics with O(1) vectorized passes per campaign instead of Python
+loops per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+from .driver import SessionOutcome
+from .execution import ExecutionEngine, TrialSpec, resolve_engine
+
+__all__ = ["Campaign", "OutcomeBatch", "TrialResult", "interleave"]
+
+
+# ---------------------------------------------------------------------------
+# Columnar outcome storage
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class OutcomeBatch:
+    """One configuration's outcomes, transposed into columns.
+
+    ``eq=False``: the dataclass-generated ``__eq__`` would compare
+    ndarray fields elementwise and raise on ``bool()``; identity
+    comparison is the useful semantic for a derived cache anyway.
+
+    Scalar-per-trial metrics are dense ``(n,)`` arrays; the ragged
+    per-trial cycle lists are stored flat with CSR-style offsets
+    (trial ``i`` owns ``cycle_durations[cycle_offsets[i]:cycle_offsets[i+1]]``);
+    per-path byte counters are dense ``(n, P)`` matrices with ``P`` the
+    highest path id seen plus one.
+    """
+
+    #: (n,) start-up delay in seconds; NaN where playback never started.
+    startup: np.ndarray
+    #: (n,) simulated finish time of each trial.
+    finished_at: np.ndarray
+    #: (n,) summed completed-stall seconds.
+    total_stall: np.ndarray
+    #: (n,) failover count.
+    failovers: np.ndarray
+    #: flat completed re-buffering cycle durations, trial-major.
+    cycle_durations: np.ndarray
+    #: (n+1,) CSR offsets into ``cycle_durations``.
+    cycle_offsets: np.ndarray
+    #: (n, P) video bytes per path, pre-buffering phase.
+    prebuffer_bytes: np.ndarray
+    #: (n, P) video bytes per path, after pre-buffering.
+    rebuffer_bytes: np.ndarray
+    #: (n,) stop reason strings (numpy unicode array).
+    stop_reasons: np.ndarray
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Sequence[SessionOutcome]) -> "OutcomeBatch":
+        """One pass over the outcome objects; everything after is columnar.
+
+        The pass appends to plain Python lists (amortized-O(1), much
+        cheaper than per-element numpy stores) and converts to arrays
+        once at the end; the sparse per-path byte dicts land in the
+        dense matrices via a single fancy-index assignment each.
+        """
+        n = len(outcomes)
+        startup: list[float] = []
+        finished_at: list[float] = []
+        total_stall: list[float] = []
+        failovers: list[int] = []
+        cycles: list[float] = []
+        cycle_offsets: list[int] = [0]
+        stop_reasons: list[str] = []
+        # COO triples for the (trial, path) -> bytes matrices.
+        pre_rows: list[int] = []
+        pre_cols: list[int] = []
+        pre_vals: list[int] = []
+        re_rows: list[int] = []
+        re_cols: list[int] = []
+        re_vals: list[int] = []
+        for i, outcome in enumerate(outcomes):
+            metrics = outcome.metrics
+            delay = outcome.startup_delay
+            startup.append(np.nan if delay is None else delay)
+            finished_at.append(outcome.finished_at)
+            total_stall.append(metrics.total_stall_time)
+            failovers.append(metrics.failovers)
+            cycles.extend(metrics.completed_cycle_durations())
+            cycle_offsets.append(len(cycles))
+            stop_reasons.append(outcome.stop_reason)
+            for path_id, count in metrics.prebuffer_bytes_by_path.items():
+                pre_rows.append(i)
+                pre_cols.append(path_id)
+                pre_vals.append(count)
+            for path_id, count in metrics.rebuffer_bytes_by_path.items():
+                re_rows.append(i)
+                re_cols.append(path_id)
+                re_vals.append(count)
+        paths = max(max(pre_cols, default=-1), max(re_cols, default=-1)) + 1
+        prebuffer_bytes = np.zeros((n, paths), dtype=np.int64)
+        rebuffer_bytes = np.zeros((n, paths), dtype=np.int64)
+        if pre_rows:
+            prebuffer_bytes[pre_rows, pre_cols] = pre_vals
+        if re_rows:
+            rebuffer_bytes[re_rows, re_cols] = re_vals
+        return cls(
+            startup=np.asarray(startup, dtype=float),
+            finished_at=np.asarray(finished_at, dtype=float),
+            total_stall=np.asarray(total_stall, dtype=float),
+            failovers=np.asarray(failovers, dtype=np.int64),
+            cycle_durations=np.asarray(cycles, dtype=float),
+            cycle_offsets=np.asarray(cycle_offsets, dtype=np.int64),
+            prebuffer_bytes=prebuffer_bytes,
+            rebuffer_bytes=rebuffer_bytes,
+            stop_reasons=np.asarray(stop_reasons, dtype=str),
+        )
+
+    def __len__(self) -> int:
+        return len(self.startup)
+
+    # -- vectorized views ---------------------------------------------------
+
+    def startup_delays(self) -> np.ndarray:
+        """Defined start-up delays, trial order (Figs. 2–4)."""
+        return self.startup[~np.isnan(self.startup)]
+
+    def phase_bytes(self, phase: str) -> np.ndarray:
+        """The ``(n, P)`` byte matrix for one phase, or their sum."""
+        if phase == "prebuffer":
+            return self.prebuffer_bytes
+        if phase == "rebuffer":
+            return self.rebuffer_bytes
+        if phase == "all":
+            return self.prebuffer_bytes + self.rebuffer_bytes
+        raise ConfigError(f"unknown phase {phase!r}")
+
+    def traffic_fractions(self, path_id: int, phase: str) -> np.ndarray:
+        """Per-trial share of video bytes carried by ``path_id`` (Table 1).
+
+        Matches ``QoEMetrics.traffic_fraction`` per row: trials that
+        moved no bytes in the phase report 0.0, and a path id beyond
+        anything observed reports 0.0 everywhere.
+        """
+        counts = self.phase_bytes(phase)
+        totals = counts.sum(axis=1)
+        # Bounds-checked on both sides: a negative path_id must report
+        # 0.0 like the dict accessor, not numpy-wrap to the last column.
+        share = (
+            counts[:, path_id]
+            if 0 <= path_id < counts.shape[1]
+            else np.zeros(len(self))
+        )
+        return np.divide(
+            share, totals, out=np.zeros(len(self)), where=totals > 0
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-configuration results (accessors ride on the columnar batch)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TrialResult:
+    """One configuration's results across trials."""
+
+    label: str
+    outcomes: list[SessionOutcome] = field(default_factory=list)
+    _batch: Optional[OutcomeBatch] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def batch(self) -> OutcomeBatch:
+        """The columnar view, built once per result on first use."""
+        if self._batch is None or len(self._batch) != len(self.outcomes):
+            self._batch = OutcomeBatch.from_outcomes(self.outcomes)
+        return self._batch
+
+    def startup_delays(self) -> list[float]:
+        return self.batch.startup_delays().tolist()
+
+    def cycle_durations(self) -> list[float]:
+        return self.batch.cycle_durations.tolist()
+
+    def traffic_fractions(self, path_id: int, phase: str) -> list[float]:
+        return self.batch.traffic_fractions(path_id, phase).tolist()
+
+
+# ---------------------------------------------------------------------------
+# The campaign scheduler
+# ---------------------------------------------------------------------------
+
+
+def interleave(batches: Sequence[Sequence[TrialSpec]]) -> list[TrialSpec]:
+    """Round-robin merge: trial i of every batch before trial i+1 of any.
+
+    Keeps per-batch order (so demultiplexed results stay in trial
+    order) while spreading each configuration's trials across the
+    submission — chunked pool dispatch then hands every worker a mix of
+    configurations instead of a run of identical ones.
+    """
+    merged: list[TrialSpec] = []
+    for rank in range(max((len(b) for b in batches), default=0)):
+        for batch in batches:
+            if rank < len(batch):
+                merged.append(batch[rank])
+    return merged
+
+
+class Campaign:
+    """All configurations of a figure sweep, one pool submission.
+
+    Usage::
+
+        campaign = Campaign(jobs="auto")
+        for label, driver in configurations:
+            campaign.add(runner.specs_for(label, driver))
+        results = campaign.run()      # {label: TrialResult}
+
+    ``add`` accepts any spec batch (different runners, scenario
+    configs, or profiles per configuration are fine); labels must be
+    unique because they key the demultiplexed results.
+    """
+
+    def __init__(
+        self,
+        jobs: Union[int, str, ExecutionEngine, None] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else resolve_engine(jobs)
+        self._batches: list[list[TrialSpec]] = []
+        self._labels: list[str] = []
+
+    def add(self, specs: Sequence[TrialSpec]) -> str:
+        """Register one configuration's trial batch; returns its label."""
+        specs = list(specs)
+        if not specs:
+            raise ConfigError("cannot add an empty trial batch to a campaign")
+        labels = {spec.label for spec in specs}
+        if len(labels) != 1:
+            raise ConfigError(
+                f"a campaign batch must share one label, got {sorted(labels)}"
+            )
+        label = specs[0].label
+        if label in self._labels:
+            raise ConfigError(f"duplicate campaign label {label!r}")
+        self._labels.append(label)
+        self._batches.append(specs)
+        return label
+
+    def add_run(self, runner, label: str, make_driver, scenario_hook=None) -> str:
+        """Convenience: ``add(runner.specs_for(label, make_driver, hook))``."""
+        return self.add(runner.specs_for(label, make_driver, scenario_hook))
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._labels)
+
+    def __len__(self) -> int:
+        return sum(len(batch) for batch in self._batches)
+
+    def run(self) -> dict[str, TrialResult]:
+        """Execute every registered trial as one submission and demux.
+
+        The engine returns outcomes in submission order, so slicing
+        them back out by each spec's position reconstructs per-label
+        results in trial order — identical to running the
+        configurations one at a time.
+        """
+        merged = interleave(self._batches)
+        outcomes = self.engine.map(merged)
+        by_label: dict[str, list[SessionOutcome]] = {
+            label: [] for label in self._labels
+        }
+        for spec, outcome in zip(merged, outcomes):
+            by_label[spec.label].append(outcome)
+        return {
+            label: TrialResult(label, by_label[label]) for label in self._labels
+        }

@@ -31,6 +31,7 @@ import atexit
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
 
@@ -185,6 +186,18 @@ def _shared_pool(workers: int) -> ProcessPoolExecutor:
     return pool
 
 
+def _evict_pool(workers: int) -> None:
+    """Drop a dead executor from the cache so later campaigns re-fork.
+
+    A ``BrokenProcessPool`` is permanent for the executor that raised
+    it: every subsequent submit fails.  Leaving it cached would poison
+    every later campaign at this worker count.
+    """
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 @atexit.register
 def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
     for pool in _POOLS.values():
@@ -212,19 +225,25 @@ class ProcessEngine:
         specs = list(specs)
         if len(specs) <= 1 or self.jobs == 1:
             return [run_trial(spec) for spec in specs]
-        try:
-            # A batch is homogeneous (one driver spec, one hook, one
-            # profile factory), so probing one spec decides for all at
-            # 1/len(specs) of the serialization cost.
-            pickle.dumps(specs[0])
-        except Exception as exc:
-            if self.fallback_to_serial:
-                return [run_trial(spec) for spec in specs]
-            raise ConfigError(
-                f"trial specs for {specs[0].label!r} are not picklable ({exc}); "
-                "use declarative driver specs (MSPlayerSpec / SinglePathSpec / "
-                "MPTCPLikeSpec) and module-level scenario hooks, or run serially"
-            ) from None
+        # A configuration is homogeneous (one driver spec, one hook, one
+        # profile factory), but a *campaign* batch interleaves several
+        # configurations — so probe one representative per label, which
+        # still decides for all at ~configs/len(specs) of the full
+        # serialization cost.
+        probes: dict[str, TrialSpec] = {}
+        for spec in specs:
+            probes.setdefault(spec.label, spec)
+        for probe in probes.values():
+            try:
+                pickle.dumps(probe)
+            except Exception as exc:
+                if self.fallback_to_serial:
+                    return [run_trial(spec) for spec in specs]
+                raise ConfigError(
+                    f"trial specs for {probe.label!r} are not picklable ({exc}); "
+                    "use declarative driver specs (MSPlayerSpec / SinglePathSpec / "
+                    "MPTCPLikeSpec) and module-level scenario hooks, or run serially"
+                ) from None
         # Chunked dispatch: ~4 chunks per active worker balances IPC
         # overhead against tail latency from uneven trial durations.
         active = min(self.jobs, len(specs))
@@ -232,8 +251,22 @@ class ProcessEngine:
         # The pool is sized (and keyed) by self.jobs, not the batch:
         # idle workers are harmless, and campaigns with varying trial
         # counts then reuse one pool instead of forking per count.
-        pool = _shared_pool(self.jobs)
-        return list(pool.map(run_trial, specs, chunksize=chunksize))
+        try:
+            pool = _shared_pool(self.jobs)
+            return list(pool.map(run_trial, specs, chunksize=chunksize))
+        except BrokenProcessPool:
+            # The cached pool died (a worker was killed, or a previous
+            # campaign broke it).  Evict it and retry once on a fresh
+            # fork — trials are pure functions of their spec, so a
+            # rerun is safe.  A second break means the specs themselves
+            # kill workers; evict again and let it propagate.
+            _evict_pool(self.jobs)
+            try:
+                pool = _shared_pool(self.jobs)
+                return list(pool.map(run_trial, specs, chunksize=chunksize))
+            except BrokenProcessPool:
+                _evict_pool(self.jobs)
+                raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessEngine(jobs={self.jobs}, name={self.name!r})"

@@ -221,6 +221,14 @@ def mobility_profile(
     )
 
 
+#: Most test modules import ``testbed_profile`` under its own name, and
+#: pytest's default ``python_functions = test*`` pattern matches it —
+#: so without this marker every importing module "grows" a bogus test
+#: that returns a NetworkProfile (``PytestReturnNotNoneWarning``, an
+#: error under the suite's ``filterwarnings = error``).
+testbed_profile.__test__ = False  # type: ignore[attr-defined]
+
+
 #: Registry used by benches and examples.
 PROFILES = {
     "testbed": testbed_profile,

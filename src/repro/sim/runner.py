@@ -16,16 +16,22 @@ batches to a pluggable :class:`~repro.sim.execution.ExecutionEngine`
 (``jobs=1`` serial, ``jobs=N``/``"auto"`` a process pool), and the
 engine guarantees outcomes come back in trial order — parallel results
 are byte-identical to serial ones for the same root seed.
+
+``TrialRunner.run`` executes *one* configuration and blocks until its
+trials finish.  Figure sweeps with several configurations should
+register each configuration's ``specs_for`` batch with a
+:class:`~repro.sim.campaign.Campaign` instead, which submits all of
+them to the pool at once (no per-configuration barrier) and returns
+the same per-label :class:`TrialResult` objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from ..core.config import PlayerConfig
 from ..rng import RngFactory
-from .driver import SessionOutcome
+from .campaign import OutcomeBatch, TrialResult
 from .execution import (
     DriverFactory,
     ExecutionEngine,
@@ -42,32 +48,11 @@ from .scenario import ScenarioConfig
 
 __all__ = [
     "DriverFactory",
+    "OutcomeBatch",
     "SessionDriver",
     "TrialResult",
     "TrialRunner",
 ]
-
-
-@dataclass
-class TrialResult:
-    """One configuration's results across trials."""
-
-    label: str
-    outcomes: list[SessionOutcome] = field(default_factory=list)
-
-    def startup_delays(self) -> list[float]:
-        return [
-            o.startup_delay for o in self.outcomes if o.startup_delay is not None
-        ]
-
-    def cycle_durations(self) -> list[float]:
-        durations: list[float] = []
-        for outcome in self.outcomes:
-            durations.extend(outcome.metrics.completed_cycle_durations())
-        return durations
-
-    def traffic_fractions(self, path_id: int, phase: str) -> list[float]:
-        return [o.metrics.traffic_fraction(path_id, phase) for o in self.outcomes]
 
 
 class TrialRunner:

@@ -58,6 +58,53 @@ class TestStats:
         values = list(range(1, 30))
         assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
 
+    def test_bootstrap_matches_per_resample_reference(self):
+        """Cross-check the vectorized bootstrap against the retired
+        per-resample implementation (2000 ``rng.choice`` calls).
+
+        The single ``(resamples, n)`` draw consumes the seed stream
+        differently, so endpoints cannot match bit-for-bit; interval
+        *width* and location must agree within bootstrap noise.
+        """
+
+        def reference(values, statistic=np.median, confidence=0.95,
+                      resamples=2000, seed=0):
+            array = np.asarray(values, dtype=float)
+            rng = np.random.Generator(np.random.PCG64(seed))
+            stats = np.empty(resamples)
+            for i in range(resamples):
+                stats[i] = statistic(rng.choice(array, size=array.size, replace=True))
+            alpha = (1.0 - confidence) / 2.0
+            return (
+                float(np.quantile(stats, alpha)),
+                float(np.quantile(stats, 1.0 - alpha)),
+            )
+
+        rng = np.random.Generator(np.random.PCG64(42))
+        values = rng.normal(10.0, 2.0, size=150)
+        old_lo, old_hi = reference(values)
+        new_lo, new_hi = bootstrap_ci(values)
+        old_width, new_width = old_hi - old_lo, new_hi - new_lo
+        assert new_width == pytest.approx(old_width, rel=0.25)
+        assert new_lo == pytest.approx(old_lo, abs=0.5 * old_width)
+        assert new_hi == pytest.approx(old_hi, abs=0.5 * old_width)
+
+    def test_bootstrap_mean_statistic_vectorizes(self):
+        values = list(range(1, 40))
+        lo, hi = bootstrap_ci(values, statistic=np.mean, resamples=400)
+        assert lo <= float(np.mean(values)) <= hi
+
+    def test_bootstrap_axis_free_statistic_falls_back(self):
+        """A statistic without an ``axis`` parameter still works via
+        the apply-along-axis fallback, on the same resample draw."""
+
+        def span(sample):
+            return float(np.max(sample) - np.min(sample))
+
+        values = list(range(1, 40))
+        lo, hi = bootstrap_ci(values, statistic=span, resamples=200)
+        assert 0.0 < lo <= hi <= 39.0
+
     def test_summarize_fields(self):
         summary = summarize([1.0, 2.0, 3.0, 4.0])
         assert summary.count == 4

@@ -1,0 +1,248 @@
+"""Campaign scheduling and columnar aggregation.
+
+The acceptance bar mirrors PR-1's: interleaving *all* configurations of
+a figure sweep into one pool submission must change nothing about the
+per-label results — byte-identical to running ``TrialRunner.run`` once
+per configuration, serial or parallel.  The columnar ``OutcomeBatch``
+must agree exactly with the per-trial Python-loop accessors it
+replaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PlayerConfig
+from repro.errors import ConfigError
+from repro.sim.campaign import Campaign, OutcomeBatch, TrialResult, interleave
+from repro.sim.execution import TrialSpec
+from repro.sim.profiles import testbed_profile, youtube_profile
+from repro.sim.runner import TrialRunner
+from repro.sim.scenario import ScenarioConfig
+from repro.units import KB, format_size
+
+
+def short_config() -> ScenarioConfig:
+    return ScenarioConfig(video_duration_s=120.0)
+
+
+def _spec(label: str, trial: int) -> TrialSpec:
+    return TrialSpec(
+        label=label,
+        trial=trial,
+        seed=trial,
+        profile_factory=testbed_profile,
+        driver=lambda scenario: None,
+    )
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        batches = [
+            [_spec("a", 0), _spec("a", 1), _spec("a", 2)],
+            [_spec("b", 0), _spec("b", 1)],
+            [_spec("c", 0)],
+        ]
+        merged = interleave(batches)
+        assert [(s.label, s.trial) for s in merged] == [
+            ("a", 0), ("b", 0), ("c", 0),
+            ("a", 1), ("b", 1),
+            ("a", 2),
+        ]
+
+    def test_empty(self):
+        assert interleave([]) == []
+
+
+class TestCampaignAPI:
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ConfigError, match="empty"):
+            Campaign().add([])
+
+    def test_rejects_mixed_labels(self):
+        with pytest.raises(ConfigError, match="one label"):
+            Campaign().add([_spec("a", 0), _spec("b", 0)])
+
+    def test_rejects_duplicate_labels(self):
+        campaign = Campaign()
+        campaign.add([_spec("a", 0)])
+        with pytest.raises(ConfigError, match="duplicate"):
+            campaign.add([_spec("a", 1)])
+
+    def test_len_and_labels(self):
+        campaign = Campaign()
+        campaign.add([_spec("a", 0), _spec("a", 1)])
+        campaign.add([_spec("b", 0)])
+        assert len(campaign) == 3
+        assert campaign.labels == ["a", "b"]
+
+
+def _fig3_mini_configs() -> list[tuple[str, PlayerConfig]]:
+    configs = []
+    for prebuffer in (20.0,):
+        for chunk in (64 * KB,):
+            for scheduler in ("harmonic", "ewma", "ratio"):
+                config = PlayerConfig(
+                    prebuffer_s=prebuffer, scheduler=scheduler, base_chunk_bytes=chunk
+                )
+                label = f"{scheduler}/{format_size(chunk)}/{prebuffer:.0f}s"
+                configs.append((label, config))
+    return configs
+
+
+def _assert_results_identical(campaign_result: TrialResult, barrier_result: TrialResult):
+    assert campaign_result.label == barrier_result.label
+    assert campaign_result.startup_delays() == barrier_result.startup_delays()
+    assert campaign_result.cycle_durations() == barrier_result.cycle_durations()
+    assert campaign_result.traffic_fractions(0, "prebuffer") == (
+        barrier_result.traffic_fractions(0, "prebuffer")
+    )
+    assert [o.finished_at for o in campaign_result.outcomes] == [
+        o.finished_at for o in barrier_result.outcomes
+    ]
+    assert [o.server_bytes for o in campaign_result.outcomes] == [
+        o.server_bytes for o in barrier_result.outcomes
+    ]
+
+
+class TestCampaignDeterminism:
+    """Interleaved campaign == per-configuration barrier path, bytewise."""
+
+    @pytest.mark.parametrize("jobs", ["serial", "auto", 2])
+    def test_fig3_style_sweep_matches_per_configuration_path(self, jobs):
+        runner = TrialRunner(
+            testbed_profile, scenario_config=short_config(), root_seed=2015, trials=3
+        )
+        campaign = Campaign(jobs=jobs)
+        for label, config in _fig3_mini_configs():
+            campaign.add_run(runner, label, runner.msplayer(config))
+        campaign_results = campaign.run()
+
+        barrier = TrialRunner(
+            testbed_profile,
+            scenario_config=short_config(),
+            root_seed=2015,
+            trials=3,
+            jobs=1,
+        )
+        for label, config in _fig3_mini_configs():
+            _assert_results_identical(
+                campaign_results[label], barrier.run(label, barrier.msplayer(config))
+            )
+
+    @pytest.mark.parametrize("jobs", ["serial", "auto"])
+    def test_table1_style_sweep_matches_per_configuration_path(self, jobs):
+        """Table 1's shape: one runner per duration (different scenario
+        configs), all registered in a single campaign."""
+
+        def runners():
+            for duration in (20.0, 40.0):
+                scenario_config = ScenarioConfig(video_duration_s=max(300.0, duration * 8))
+                runner = TrialRunner(
+                    youtube_profile,
+                    scenario_config=scenario_config,
+                    root_seed=2018,
+                    trials=2,
+                )
+                config = PlayerConfig(prebuffer_s=duration, rebuffer_fetch_s=duration)
+                yield duration, runner, config
+
+        campaign = Campaign(jobs=jobs)
+        for duration, runner, config in runners():
+            campaign.add_run(
+                runner,
+                f"t1-{duration}",
+                runner.msplayer(config, stop="cycles", target_cycles=3),
+            )
+        campaign_results = campaign.run()
+
+        for duration, runner, config in runners():
+            reference = runner.run(
+                f"t1-{duration}", runner.msplayer(config, stop="cycles", target_cycles=3)
+            )
+            _assert_results_identical(campaign_results[f"t1-{duration}"], reference)
+            campaign_batch = campaign_results[f"t1-{duration}"].batch
+            for phase in ("prebuffer", "rebuffer"):
+                assert campaign_batch.traffic_fractions(0, phase).tolist() == (
+                    reference.traffic_fractions(0, phase)
+                )
+
+
+class TestOutcomeBatch:
+    """The columnar view agrees exactly with per-outcome Python loops."""
+
+    @pytest.fixture(scope="class")
+    def result(self) -> TrialResult:
+        runner = TrialRunner(
+            testbed_profile, scenario_config=short_config(), root_seed=99, trials=4
+        )
+        return runner.run(
+            "batch", runner.msplayer(PlayerConfig(), stop="cycles", target_cycles=1)
+        )
+
+    def test_startup_delays_match_loop(self, result):
+        expected = [
+            o.startup_delay for o in result.outcomes if o.startup_delay is not None
+        ]
+        assert result.startup_delays() == expected
+        assert result.batch.startup_delays().dtype == np.float64
+
+    def test_cycle_durations_csr_layout(self, result):
+        batch = result.batch
+        expected: list[float] = []
+        for i, outcome in enumerate(result.outcomes):
+            durations = outcome.metrics.completed_cycle_durations()
+            start, end = batch.cycle_offsets[i], batch.cycle_offsets[i + 1]
+            assert batch.cycle_durations[start:end].tolist() == durations
+            expected.extend(durations)
+        assert result.cycle_durations() == expected
+
+    def test_traffic_fractions_match_metrics(self, result):
+        for phase in ("prebuffer", "rebuffer", "all"):
+            expected = [o.metrics.traffic_fraction(0, phase) for o in result.outcomes]
+            assert result.batch.traffic_fractions(0, phase).tolist() == expected
+
+    def test_out_of_range_path_is_zero(self, result):
+        # Both sides: beyond the widest path id, and negative (which
+        # must not numpy-wrap to the last column).
+        for path_id in (99, -1):
+            expected = [
+                o.metrics.traffic_fraction(path_id, "prebuffer")
+                for o in result.outcomes
+            ]
+            assert result.batch.traffic_fractions(path_id, "prebuffer").tolist() == (
+                expected
+            )
+
+    def test_batches_compare_by_identity(self, result):
+        batch = result.batch
+        assert batch == batch
+        assert batch != OutcomeBatch.from_outcomes(result.outcomes)
+
+    def test_unknown_phase_rejected(self, result):
+        with pytest.raises(ConfigError, match="phase"):
+            result.batch.phase_bytes("warmup")
+
+    def test_scalar_columns(self, result):
+        batch = result.batch
+        assert batch.finished_at.tolist() == [o.finished_at for o in result.outcomes]
+        assert batch.total_stall.tolist() == [
+            o.metrics.total_stall_time for o in result.outcomes
+        ]
+        assert batch.failovers.tolist() == [
+            o.metrics.failovers for o in result.outcomes
+        ]
+        assert batch.stop_reasons.tolist() == [o.stop_reason for o in result.outcomes]
+
+    def test_empty_batch(self):
+        batch = OutcomeBatch.from_outcomes([])
+        assert len(batch) == 0
+        assert batch.startup_delays().size == 0
+        assert batch.prebuffer_bytes.shape == (0, 0)
+
+    def test_batch_rebuilds_after_outcomes_change(self, result):
+        partial = TrialResult("partial", result.outcomes[:2])
+        assert len(partial.batch) == 2
+        partial.outcomes.append(result.outcomes[2])
+        assert len(partial.batch) == 3

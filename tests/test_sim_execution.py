@@ -176,6 +176,77 @@ class TestSerialParallelEquivalence:
         assert serial.rendered == parallel.rendered
 
 
+def _kill_worker(scenario) -> None:
+    """Scenario hook that hard-kills the worker process mid-trial.
+
+    Module-level (picklable) so the spec reaches the pool; ``os._exit``
+    bypasses cleanup exactly like an OOM kill would, which is what
+    breaks a ``ProcessPoolExecutor`` permanently.
+    """
+    os._exit(13)
+
+
+class TestBrokenPoolRecovery:
+    """A dead executor must not poison the shared-pool cache."""
+
+    JOBS = 2  # keyed into _POOLS; all assertions use this count
+
+    def test_broken_pool_evicted_and_next_campaign_succeeds(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.sim import execution
+
+        runner = TrialRunner(
+            testbed_profile,
+            scenario_config=short_config(),
+            trials=4,
+            engine=ProcessEngine(self.JOBS),
+        )
+        # Specs that kill their worker break the fresh retry pool too,
+        # so the engine re-raises — but must leave no dead pool behind.
+        with pytest.raises(BrokenProcessPool):
+            runner.run(
+                "killer", runner.msplayer(PlayerConfig()), scenario_hook=_kill_worker
+            )
+        assert self.JOBS not in execution._POOLS
+
+        # The same worker count must now work again on a fresh fork.
+        healthy = runner.run("healthy", runner.msplayer(PlayerConfig()))
+        assert len(healthy.outcomes) == 4
+        assert self.JOBS in execution._POOLS
+
+    def test_single_break_retried_on_fresh_pool(self, monkeypatch):
+        """First map attempt breaks, the retry succeeds: callers never
+        see the exception and the cache holds a live pool again."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.sim import execution
+
+        class _BrokenOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def map(self, fn, specs, chunksize=1):
+                self.calls += 1
+                raise BrokenProcessPool("simulated dead executor")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        broken = _BrokenOnce()
+        monkeypatch.setitem(execution._POOLS, self.JOBS, broken)
+        runner = TrialRunner(
+            testbed_profile,
+            scenario_config=short_config(),
+            trials=4,
+            engine=ProcessEngine(self.JOBS),
+        )
+        result = runner.run("recovered", runner.msplayer(PlayerConfig()))
+        assert broken.calls == 1
+        assert len(result.outcomes) == 4
+        assert execution._POOLS.get(self.JOBS) is not broken
+
+
 class TestClosureHandling:
     def test_process_engine_rejects_closures_loudly(self):
         runner = TrialRunner(
