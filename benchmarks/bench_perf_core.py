@@ -15,12 +15,16 @@ reproduce the serial outcomes byte-for-byte.
 Speedup assertions are scaled to the runner: the ≥3× parallel target
 only applies with ≥4 CPUs (trials are embarrassingly parallel, so the
 pool scales with cores); single-core CI still measures and archives.
+``--smoke`` (CI) shrinks every workload and skips the speedup floors —
+shared runners are too noisy to assert ratios on — while still
+exercising each path and archiving what it measured.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
 import time
 
 import numpy as np
@@ -37,6 +41,7 @@ from repro.net.tcp import TCPConnection, TCPParams
 from repro.sim.campaign import Campaign, OutcomeBatch
 from repro.sim.profiles import testbed_profile
 from repro.sim.runner import TrialRunner
+from repro.sim.shm import OutcomeArena, encode_side
 from repro.units import KB, mbit
 
 RESULT_FILE = RESULTS_DIR / "BENCH_perf_core.json"
@@ -46,17 +51,18 @@ CAMPAIGN_TRIALS = 20
 
 
 @pytest.fixture(scope="module")
-def perf_record():
+def perf_record(smoke):
     record: dict[str, object] = {
         "schema": "perf_core/v1",
         "cpu_count": os.cpu_count(),
+        "smoke": smoke,
     }
     yield record
     RESULTS_DIR.mkdir(exist_ok=True)
     RESULT_FILE.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
-def test_kernel_event_throughput(perf_record):
+def test_kernel_event_throughput(perf_record, smoke):
     """Dispatch rate of the bare discrete-event kernel (timeout storm)."""
 
     def worker(env, n):
@@ -64,8 +70,9 @@ def test_kernel_event_throughput(perf_record):
             yield env.timeout(0.001)
 
     env = Environment()
-    for _ in range(50):
-        env.process(worker(env, 2000))
+    procs, timeouts = (10, 300) if smoke else (50, 2000)
+    for _ in range(procs):
+        env.process(worker(env, timeouts))
     start = time.perf_counter()
     env.run()
     elapsed = time.perf_counter() - start
@@ -74,7 +81,7 @@ def test_kernel_event_throughput(perf_record):
     assert events_per_sec > 10_000  # sanity floor, not a target
 
 
-def test_tcp_exchange_throughput(perf_record):
+def test_tcp_exchange_throughput(perf_record, smoke):
     """Slow-start exchanges per second — the path the closed-form cap
     schedule replaced a pacer process + O(log S/RTT) timeouts on."""
     env = Environment()
@@ -82,7 +89,7 @@ def test_tcp_exchange_throughput(perf_record):
     conn = TCPConnection(
         env, link, ConstantLatency(0.020), TCPParams(idle_reset_after=0.05)
     )
-    exchanges = 2000
+    exchanges = 300 if smoke else 2000
 
     def main(env):
         yield env.process(conn.connect())
@@ -98,12 +105,13 @@ def test_tcp_exchange_throughput(perf_record):
     assert exchanges / elapsed > 100  # sanity floor
 
 
-def test_campaign_throughput_serial_vs_parallel(perf_record):
+def test_campaign_throughput_serial_vs_parallel(perf_record, smoke):
     """A 20-trial fig3-style configuration, serial vs ``jobs='auto'``."""
     config = PlayerConfig(scheduler="harmonic", base_chunk_bytes=64 * KB)
+    trials = 6 if smoke else CAMPAIGN_TRIALS
 
     def run(jobs):
-        runner = TrialRunner(testbed_profile, trials=CAMPAIGN_TRIALS, jobs=jobs)
+        runner = TrialRunner(testbed_profile, trials=trials, jobs=jobs)
         start = time.perf_counter()
         result = runner.run("perf-core", runner.msplayer(config))
         return time.perf_counter() - start, result
@@ -112,12 +120,12 @@ def test_campaign_throughput_serial_vs_parallel(perf_record):
     parallel_s, parallel = run("auto")
     speedup = serial_s / parallel_s
 
-    perf_record["campaign_trials"] = CAMPAIGN_TRIALS
+    perf_record["campaign_trials"] = trials
     perf_record["campaign_serial_s"] = round(serial_s, 4)
     perf_record["campaign_auto_s"] = round(parallel_s, 4)
     perf_record["campaign_auto_speedup"] = round(speedup, 3)
-    perf_record["campaign_trials_per_sec_serial"] = round(CAMPAIGN_TRIALS / serial_s, 2)
-    perf_record["campaign_trials_per_sec_auto"] = round(CAMPAIGN_TRIALS / parallel_s, 2)
+    perf_record["campaign_trials_per_sec_serial"] = round(trials / serial_s, 2)
+    perf_record["campaign_trials_per_sec_auto"] = round(trials / parallel_s, 2)
 
     # Determinism before speed: byte-identical outcomes.
     assert serial.startup_delays() == parallel.startup_delays()
@@ -126,7 +134,9 @@ def test_campaign_throughput_serial_vs_parallel(perf_record):
     ]
 
     cpus = os.cpu_count() or 1
-    if cpus >= 4:
+    if smoke:
+        pass  # measured and archived; shared runners are too noisy to gate on
+    elif cpus >= 4:
         assert speedup >= 3.0, f"expected >=3x on {cpus} CPUs, got {speedup:.2f}x"
     elif cpus >= 2:
         assert speedup >= 1.2, f"expected >=1.2x on {cpus} CPUs, got {speedup:.2f}x"
@@ -146,13 +156,13 @@ def _sweep_configs() -> list[tuple[str, PlayerConfig]]:
     return configs
 
 
-def test_campaign_vs_barrier_throughput(perf_record):
+def test_campaign_vs_barrier_throughput(perf_record, smoke):
     """Whole-sweep campaign submission vs the PR-1 per-configuration
     barrier path (``TrialRunner.run`` once per configuration), both on
     ``jobs='auto'``.  The campaign feeds every configuration's trials
     to the pool at once, so workers never idle at configuration
     boundaries."""
-    trials = 8
+    trials = 3 if smoke else 8
 
     # Warm the shared pool outside both timed regions so neither path
     # pays the one-off fork cost (pools are cached by worker count —
@@ -199,11 +209,11 @@ def test_campaign_vs_barrier_throughput(perf_record):
 
     # Barrier removal only shows with real workers to keep busy; the
     # serial fallback (1 CPU) runs the same trials either way.
-    if (os.cpu_count() or 1) >= 4:
+    if not smoke and (os.cpu_count() or 1) >= 4:
         assert speedup >= 1.05, f"campaign slower than barrier path: {speedup:.2f}x"
 
 
-def test_columnar_aggregation_throughput(perf_record):
+def test_columnar_aggregation_throughput(perf_record, smoke):
     """OutcomeBatch-vectorized analysis vs the retired per-trial
     Python-loop accessors, on a campaign-sized outcome list."""
     runner = TrialRunner(testbed_profile, trials=4)
@@ -212,7 +222,7 @@ def test_columnar_aggregation_throughput(perf_record):
     )
     # Campaign-scale sample without campaign-scale simulation time:
     # replicate the real outcomes (aggregation cost is what's measured).
-    outcomes = (seed_result.outcomes * 500)[:2000]
+    outcomes = (seed_result.outcomes * 500)[: (400 if smoke else 2000)]
 
     def python_loop_queries():
         """What the retired accessors did: every statistic re-walks the
@@ -274,12 +284,80 @@ def test_columnar_aggregation_throughput(perf_record):
     perf_record["aggregation_query_speedup"] = round(query_speedup, 3)
     perf_record["aggregation_total_speedup"] = round(total_speedup, 3)
 
-    assert query_speedup > 2.0, (
-        f"vectorized queries should beat per-trial walks, got {query_speedup:.2f}x"
+    if not smoke:
+        assert query_speedup > 2.0, (
+            f"vectorized queries should beat per-trial walks, got {query_speedup:.2f}x"
+        )
+
+
+def test_ipc_collection_pickle_vs_shm(perf_record, smoke):
+    """The trial-result collection layer in isolation, per IPC mode.
+
+    Pickle path (``REPRO_IPC=pickle``): every outcome crosses the pool
+    pipe as a deep pickle of the ``SessionOutcome`` object graph, and
+    the parent unpickles it all back before transposing into an
+    ``OutcomeBatch``.  Shm path (the default): the worker stores the
+    dense scalars straight into the arena row and pickles only the
+    flat ``SideRecord`` remainder; the parent assembles the batch from
+    the arena columns without materializing a single outcome object.
+    Simulation time is excluded on purpose — this measures collection,
+    the part the shm arena changes.
+    """
+    n = 400 if smoke else 2000
+    runner = TrialRunner(testbed_profile, trials=4)
+    seed_result = runner.run(
+        "ipc", runner.msplayer(PlayerConfig(), stop="cycles", target_cycles=1)
     )
+    outcomes = (seed_result.outcomes * (1 + n // len(seed_result.outcomes)))[:n]
+
+    def pickle_collection() -> OutcomeBatch:
+        received = [pickle.loads(pickle.dumps(o)) for o in outcomes]
+        return OutcomeBatch.from_outcomes(received)
+
+    def shm_collection() -> OutcomeBatch:
+        arena = OutcomeArena.create(len(outcomes))
+        try:
+            for i, outcome in enumerate(outcomes):  # worker side, in place
+                arena.write(i, outcome)
+            sides = [
+                pickle.loads(pickle.dumps(encode_side(o))) for o in outcomes
+            ]  # the side channel through the pipe
+            dense = arena.read_columns()
+        finally:
+            arena.destroy()
+        return OutcomeBatch.from_dense_and_sides(dense, sides)
+
+    # Determinism before speed: both collection paths assemble the
+    # same batch, bit for bit — every column the dataclass declares.
+    via_pickle, via_shm = pickle_collection(), shm_collection()
+    assert via_pickle.column_mismatches(via_shm) == []
+
+    def best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    pickle_s = best_of(pickle_collection)
+    shm_s = best_of(shm_collection)
+    speedup = pickle_s / shm_s
+
+    perf_record["ipc_outcomes"] = n
+    perf_record["ipc_side_record_bytes"] = len(pickle.dumps(encode_side(outcomes[0])))
+    perf_record["ipc_full_outcome_bytes"] = len(pickle.dumps(outcomes[0]))
+    perf_record["ipc_pickle_collection_ms"] = round(pickle_s * 1000, 3)
+    perf_record["ipc_shm_collection_ms"] = round(shm_s * 1000, 3)
+    perf_record["ipc_shm_speedup"] = round(speedup, 3)
+
+    if not smoke:
+        assert speedup > 1.1, (
+            f"shm collection should beat full-outcome pickling, got {speedup:.2f}x"
+        )
 
 
-def test_bootstrap_vectorization_throughput(perf_record):
+def test_bootstrap_vectorization_throughput(perf_record, smoke):
     """Vectorized bootstrap (one ``(resamples, n)`` draw) vs the
     retired 2000-``rng.choice``-calls implementation."""
     rng = np.random.Generator(np.random.PCG64(1))
@@ -307,4 +385,5 @@ def test_bootstrap_vectorization_throughput(perf_record):
 
     # Different resample draw, same distribution: intervals overlap.
     assert max(old_ci[0], new_ci[0]) < min(old_ci[1], new_ci[1])
-    assert speedup > 2.0, f"vectorized bootstrap should win big, got {speedup:.2f}x"
+    if not smoke:
+        assert speedup > 2.0, f"vectorized bootstrap should win big, got {speedup:.2f}x"

@@ -13,6 +13,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -85,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         "as one campaign — every configuration's trials interleaved "
         "into a single pool submission, no per-configuration barrier",
     )
+    experiment.add_argument(
+        "--ipc",
+        choices=("pickle", "shm"),
+        default=None,
+        help="result collection for process backends: 'shm' (default) has "
+        "workers write dense outcome columns into a shared-memory arena, "
+        "'pickle' sends full outcome objects through the pool pipe.  "
+        "Byte-identical results either way; sets REPRO_IPC for the run",
+    )
 
     adaptive = sub.add_parser("adaptive", help="run the DASH-extension player (§7)")
     adaptive.add_argument("--controller", choices=sorted(CONTROLLERS), default="throughput")
@@ -123,23 +133,37 @@ def _command_play(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     function, takes_trials = EXPERIMENTS[args.id]
-    # Validate before the campaign starts so a typo'd --jobs (or
-    # REPRO_JOBS — resolve_engine(None) consults it) fails in
-    # milliseconds with a one-line error, not a traceback.  Validated
-    # for every experiment id so the flag behaves consistently even on
-    # the single-pass experiments that have nothing to fan out.
+    # The experiment functions take a jobs knob but construct their own
+    # engines, so the collection mode travels via the environment —
+    # --ipc overrides REPRO_IPC for this invocation only (restored on
+    # exit so in-process callers of main() don't inherit it).
+    previous_ipc = os.environ.get("REPRO_IPC")
+    if args.ipc is not None:
+        os.environ["REPRO_IPC"] = args.ipc
     try:
-        from .sim.execution import resolve_engine
+        # Validate before the campaign starts so a typo'd --jobs (or
+        # REPRO_JOBS — resolve_engine(None) consults it) fails in
+        # milliseconds with a one-line error, not a traceback.  Validated
+        # for every experiment id so the flag behaves consistently even on
+        # the single-pass experiments that have nothing to fan out.
+        try:
+            from .sim.execution import resolve_engine
 
-        resolve_engine(args.jobs)
-    except ConfigError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    # Trial-based experiments all accept the execution-backend knob;
-    # fig1/x3 are deterministic single passes with nothing to fan out.
-    result = (
-        function(trials=args.trials, jobs=args.jobs) if takes_trials else function()
-    )
+            resolve_engine(args.jobs)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Trial-based experiments all accept the execution-backend knob;
+        # fig1/x3 are deterministic single passes with nothing to fan out.
+        result = (
+            function(trials=args.trials, jobs=args.jobs) if takes_trials else function()
+        )
+    finally:
+        if args.ipc is not None:
+            if previous_ipc is None:
+                os.environ.pop("REPRO_IPC", None)
+            else:
+                os.environ["REPRO_IPC"] = previous_ipc
     print(result.rendered)
     return 0
 

@@ -23,7 +23,11 @@ the paper, as code:
 * :mod:`repro.sim.campaign` — campaign-level scheduling (all of a
   figure's configurations interleaved into one pool submission, no
   per-configuration barrier) and columnar outcome aggregation
-  (:class:`~repro.sim.campaign.OutcomeBatch`).
+  (:class:`~repro.sim.campaign.OutcomeBatch`);
+* :mod:`repro.sim.shm` — shared-memory result collection for the
+  process backends: workers write dense outcome columns into an arena
+  in place, only the ragged/string remainder rides the pool pipe
+  (``REPRO_IPC=pickle|shm`` selects; byte-identical either way).
 """
 
 from .profiles import (
@@ -48,10 +52,16 @@ from .execution import (
     resolve_engine,
     run_trial,
 )
+from .shm import OutcomeArena, SideRecord, TrialCollection, collect_trials, resolve_ipc
 from .campaign import Campaign, OutcomeBatch
 from .runner import TrialRunner, TrialResult
 
 __all__ = [
+    "OutcomeArena",
+    "SideRecord",
+    "TrialCollection",
+    "collect_trials",
+    "resolve_ipc",
     "DriverFactory",
     "MPTCPLikeSpec",
     "MSPlayerSpec",

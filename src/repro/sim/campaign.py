@@ -32,14 +32,16 @@ loops per trial.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass, fields
+from functools import partial
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import ConfigError
 from .driver import SessionOutcome
 from .execution import ExecutionEngine, TrialSpec, resolve_engine
+from .shm import SideRecord, collect_trials, rebuild_outcomes
 
 __all__ = ["Campaign", "OutcomeBatch", "TrialResult", "interleave"]
 
@@ -83,6 +85,41 @@ class OutcomeBatch:
     #: (n,) stop reason strings (numpy unicode array).
     stop_reasons: np.ndarray
 
+    @staticmethod
+    def _byte_matrices(
+        n: int, byte_dicts: Sequence[tuple[dict, dict]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse per-trial ``(pre, re)`` byte dicts → dense ``(n, P)``
+        matrices, via COO triples and one fancy-index assignment each.
+
+        Shared by both constructors so batches assembled from side
+        records are built by the very code that builds them from
+        outcome objects.
+        """
+        pre_rows: list[int] = []
+        pre_cols: list[int] = []
+        pre_vals: list[int] = []
+        re_rows: list[int] = []
+        re_cols: list[int] = []
+        re_vals: list[int] = []
+        for i, (pre, re) in enumerate(byte_dicts):
+            for path_id, count in pre.items():
+                pre_rows.append(i)
+                pre_cols.append(path_id)
+                pre_vals.append(count)
+            for path_id, count in re.items():
+                re_rows.append(i)
+                re_cols.append(path_id)
+                re_vals.append(count)
+        paths = max(max(pre_cols, default=-1), max(re_cols, default=-1)) + 1
+        prebuffer_bytes = np.zeros((n, paths), dtype=np.int64)
+        rebuffer_bytes = np.zeros((n, paths), dtype=np.int64)
+        if pre_rows:
+            prebuffer_bytes[pre_rows, pre_cols] = pre_vals
+        if re_rows:
+            rebuffer_bytes[re_rows, re_cols] = re_vals
+        return prebuffer_bytes, rebuffer_bytes
+
     @classmethod
     def from_outcomes(cls, outcomes: Sequence[SessionOutcome]) -> "OutcomeBatch":
         """One pass over the outcome objects; everything after is columnar.
@@ -100,14 +137,8 @@ class OutcomeBatch:
         cycles: list[float] = []
         cycle_offsets: list[int] = [0]
         stop_reasons: list[str] = []
-        # COO triples for the (trial, path) -> bytes matrices.
-        pre_rows: list[int] = []
-        pre_cols: list[int] = []
-        pre_vals: list[int] = []
-        re_rows: list[int] = []
-        re_cols: list[int] = []
-        re_vals: list[int] = []
-        for i, outcome in enumerate(outcomes):
+        byte_dicts: list[tuple[dict, dict]] = []
+        for outcome in outcomes:
             metrics = outcome.metrics
             delay = outcome.startup_delay
             startup.append(np.nan if delay is None else delay)
@@ -117,21 +148,10 @@ class OutcomeBatch:
             cycles.extend(metrics.completed_cycle_durations())
             cycle_offsets.append(len(cycles))
             stop_reasons.append(outcome.stop_reason)
-            for path_id, count in metrics.prebuffer_bytes_by_path.items():
-                pre_rows.append(i)
-                pre_cols.append(path_id)
-                pre_vals.append(count)
-            for path_id, count in metrics.rebuffer_bytes_by_path.items():
-                re_rows.append(i)
-                re_cols.append(path_id)
-                re_vals.append(count)
-        paths = max(max(pre_cols, default=-1), max(re_cols, default=-1)) + 1
-        prebuffer_bytes = np.zeros((n, paths), dtype=np.int64)
-        rebuffer_bytes = np.zeros((n, paths), dtype=np.int64)
-        if pre_rows:
-            prebuffer_bytes[pre_rows, pre_cols] = pre_vals
-        if re_rows:
-            rebuffer_bytes[re_rows, re_cols] = re_vals
+            byte_dicts.append(
+                (metrics.prebuffer_bytes_by_path, metrics.rebuffer_bytes_by_path)
+            )
+        prebuffer_bytes, rebuffer_bytes = cls._byte_matrices(n, byte_dicts)
         return cls(
             startup=np.asarray(startup, dtype=float),
             finished_at=np.asarray(finished_at, dtype=float),
@@ -144,8 +164,65 @@ class OutcomeBatch:
             stop_reasons=np.asarray(stop_reasons, dtype=str),
         )
 
+    @classmethod
+    def from_dense_and_sides(
+        cls, dense: dict[str, np.ndarray], sides: Sequence[SideRecord]
+    ) -> "OutcomeBatch":
+        """Assemble a batch from arena columns plus side records.
+
+        The shm collection path: ``dense`` holds the scalar columns the
+        workers wrote in place (already float64/int64 arrays — adopted
+        as-is, zero deserialization and zero copies), ``sides`` the
+        ragged/string remainder.  Byte-identical to ``from_outcomes``
+        over the rebuilt outcome objects: the CSR cycle layout performs
+        the same ``ended - started`` subtractions, and the byte
+        matrices come from the shared ``_byte_matrices`` assembly.
+        """
+        n = len(sides)
+        cycles: list[float] = []
+        cycle_offsets: list[int] = [0]
+        stop_reasons: list[str] = []
+        byte_dicts: list[tuple[dict, dict]] = []
+        for side in sides:
+            cycles.extend(side.completed_cycle_durations())
+            cycle_offsets.append(len(cycles))
+            stop_reasons.append(side.stop_reason)
+            byte_dicts.append(
+                (side.prebuffer_bytes_by_path, side.rebuffer_bytes_by_path)
+            )
+        prebuffer_bytes, rebuffer_bytes = cls._byte_matrices(n, byte_dicts)
+        return cls(
+            startup=np.asarray(dense["startup"], dtype=float),
+            finished_at=np.asarray(dense["finished_at"], dtype=float),
+            total_stall=np.asarray(dense["total_stall"], dtype=float),
+            failovers=np.asarray(dense["failovers"], dtype=np.int64),
+            cycle_durations=np.asarray(cycles, dtype=float),
+            cycle_offsets=np.asarray(cycle_offsets, dtype=np.int64),
+            prebuffer_bytes=prebuffer_bytes,
+            rebuffer_bytes=rebuffer_bytes,
+            stop_reasons=np.asarray(stop_reasons, dtype=str),
+        )
+
     def __len__(self) -> int:
         return len(self.startup)
+
+    def column_mismatches(self, other: "OutcomeBatch") -> list[str]:
+        """Names of columns that are not bit-identical to ``other``'s.
+
+        The determinism predicate the test wall and ``bench_perf_core``
+        assert on: a column counts as mismatched if its dtype differs
+        or any element's bits do (NaN == NaN — never-started trials
+        must not read as nondeterminism).  Enumerated from the
+        dataclass fields so a future column cannot silently escape.
+        """
+        mismatched = []
+        for field in fields(self):
+            mine, theirs = getattr(self, field.name), getattr(other, field.name)
+            if mine.dtype != theirs.dtype or not np.array_equal(
+                mine, theirs, equal_nan=mine.dtype.kind == "f"
+            ):
+                mismatched.append(field.name)
+        return mismatched
 
     # -- vectorized views ---------------------------------------------------
 
@@ -189,22 +266,76 @@ class OutcomeBatch:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class TrialResult:
-    """One configuration's results across trials."""
+    """One configuration's results across trials.
 
-    label: str
-    outcomes: list[SessionOutcome] = field(default_factory=list)
-    _batch: Optional[OutcomeBatch] = field(
-        default=None, repr=False, compare=False
-    )
+    Holds either materialized ``SessionOutcome`` objects (the serial
+    and pickle collection paths) or — on the shm path — a pre-assembled
+    columnar batch plus a thunk that rebuilds the outcome objects only
+    if something actually walks them (EXP-X2's per-server accounting
+    does; the figure pipelines never do).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        outcomes: Optional[list[SessionOutcome]] = None,
+        batch: Optional[OutcomeBatch] = None,
+        outcome_thunk: Optional[Callable[[], list[SessionOutcome]]] = None,
+    ) -> None:
+        if batch is not None and outcomes is None and outcome_thunk is None:
+            # A batch-only result would serve .outcomes == [] next to a
+            # non-empty batch — silently inconsistent.  Fail loudly.
+            raise ConfigError(
+                "a TrialResult built from a batch needs an outcome source "
+                "(outcomes or outcome_thunk)"
+            )
+        self.label = label
+        self._outcomes = outcomes if outcomes is not None else (
+            None if outcome_thunk is not None else []
+        )
+        self._batch = batch
+        self._thunk = outcome_thunk
+
+    @property
+    def outcomes(self) -> list[SessionOutcome]:
+        """The outcome objects, materialized on first access."""
+        if self._outcomes is None:
+            self._outcomes = self._thunk()
+        return self._outcomes
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality over (label, outcomes), matching the dataclass
+        # this class replaced (_batch was compare=False there too).
+        # Comparing a lazy result materializes its outcomes.
+        if not isinstance(other, TrialResult):
+            return NotImplemented
+        return self.label == other.label and self.outcomes == other.outcomes
 
     @property
     def batch(self) -> OutcomeBatch:
-        """The columnar view, built once per result on first use."""
-        if self._batch is None or len(self._batch) != len(self.outcomes):
-            self._batch = OutcomeBatch.from_outcomes(self.outcomes)
+        """The columnar view, built once per result on first use.
+
+        A pre-assembled batch (shm path) is served as-is unless the
+        materialized outcome list was mutated afterwards, in which case
+        it is rebuilt to match — same invalidation the transposed path
+        has always had.
+        """
+        if self._batch is not None and (
+            self._outcomes is None or len(self._batch) == len(self._outcomes)
+        ):
+            return self._batch
+        self._batch = OutcomeBatch.from_outcomes(self.outcomes)
         return self._batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._outcomes is not None:
+            n = str(len(self._outcomes))
+        elif self._batch is not None:
+            n = str(len(self._batch))
+        else:
+            n = "lazy"  # thunk-only: don't materialize just for repr
+        return f"TrialResult(label={self.label!r}, trials={n})"
 
     def startup_delays(self) -> list[float]:
         return self.batch.startup_delays().tolist()
@@ -292,18 +423,34 @@ class Campaign:
     def run(self) -> dict[str, TrialResult]:
         """Execute every registered trial as one submission and demux.
 
-        The engine returns outcomes in submission order, so slicing
-        them back out by each spec's position reconstructs per-label
-        results in trial order — identical to running the
-        configurations one at a time.
+        The engine returns results in submission order, so slicing them
+        back out by each spec's position reconstructs per-label results
+        in trial order — identical to running the configurations one at
+        a time.  When the engine collected columnar (the shm path),
+        each label's ``OutcomeBatch`` is assembled directly from the
+        arena's dense columns — no outcome objects, no deserialization
+        of the dense data — and the objects themselves stay lazy.
         """
         merged = interleave(self._batches)
-        outcomes = self.engine.map(merged)
-        by_label: dict[str, list[SessionOutcome]] = {
-            label: [] for label in self._labels
-        }
-        for spec, outcome in zip(merged, outcomes):
-            by_label[spec.label].append(outcome)
-        return {
-            label: TrialResult(label, by_label[label]) for label in self._labels
-        }
+        collection = collect_trials(self.engine, merged)
+        rows_by_label: dict[str, list[int]] = {label: [] for label in self._labels}
+        for i, spec in enumerate(merged):
+            rows_by_label[spec.label].append(i)
+        results: dict[str, TrialResult] = {}
+        for label in self._labels:
+            rows = rows_by_label[label]
+            if collection.columnar:
+                dense = {
+                    name: column[rows] for name, column in collection.dense.items()
+                }
+                sides = [collection.sides[i] for i in rows]
+                results[label] = TrialResult(
+                    label,
+                    batch=OutcomeBatch.from_dense_and_sides(dense, sides),
+                    outcome_thunk=partial(rebuild_outcomes, dense, sides),
+                )
+            else:
+                results[label] = TrialResult(
+                    label, [collection.outcomes[i] for i in rows]
+                )
+        return results

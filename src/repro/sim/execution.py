@@ -17,12 +17,19 @@ Backends:
   machine that silently falls back to serial when a spec cannot be
   pickled (e.g. a hand-written closure factory).
 
+Result collection (process backends) is pluggable too: the default
+``shm`` path has workers write each trial's dense scalar columns
+directly into a ``multiprocessing.shared_memory`` arena at their trial
+row index, with only the ragged/string remainder pickled back through
+the pool pipe (see :mod:`repro.sim.shm`); ``REPRO_IPC=pickle`` (or
+``ProcessEngine(ipc="pickle")``) restores full-outcome pickling.
+
 Determinism is the acceptance bar: ``engine.map(specs)`` returns
 outcomes in spec order, and every trial derives its randomness from its
 own seed, so parallel results are byte-identical to serial ones for the
-same root seed.  Select a backend with ``TrialRunner(jobs=...)``,
-``repro experiment --jobs N``, or the ``REPRO_JOBS`` environment
-variable (``N``, ``auto``, or ``serial``).
+same root seed — whatever the IPC mode.  Select a backend with
+``TrialRunner(jobs=...)``, ``repro experiment --jobs N``, or the
+``REPRO_JOBS`` environment variable (``N``, ``auto``, or ``serial``).
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from ..core.config import PlayerConfig
@@ -40,6 +48,7 @@ from ..errors import ConfigError
 from .driver import MSPlayerDriver, SessionOutcome
 from .profiles import NetworkProfile
 from .scenario import Scenario, ScenarioConfig
+from .shm import OutcomeArena, SideRecord, TrialCollection, encode_side, resolve_ipc
 from .singlepath import HTML5_CHUNK, SinglePathDriver
 
 
@@ -145,6 +154,36 @@ def run_trial(spec: TrialSpec) -> SessionOutcome:
     return spec.driver(scenario).run()
 
 
+#: Worker-side arena attachment cache, keyed by segment name.  A worker
+#: serves one campaign at a time, so a task naming a new arena means the
+#: cached ones belong to finished (already unlinked) campaigns — close
+#: them before attaching, keeping exactly one live mapping per worker.
+_WORKER_ARENAS: dict[str, OutcomeArena] = {}
+
+
+def _attached_arena(name: str, rows: int) -> OutcomeArena:
+    arena = _WORKER_ARENAS.get(name)
+    if arena is None:
+        for stale in _WORKER_ARENAS.values():
+            stale.close()
+        _WORKER_ARENAS.clear()
+        arena = OutcomeArena.attach(name, rows)
+        _WORKER_ARENAS[name] = arena
+    return arena
+
+
+def run_trial_into_arena(
+    arena_name: str, rows: int, item: tuple[int, TrialSpec]
+) -> SideRecord:
+    """The shm-path work unit: run the trial, store its dense scalars
+    at its row of the shared arena, return only the ragged/string
+    remainder through the pool pipe."""
+    index, spec = item
+    outcome = run_trial(spec)
+    _attached_arena(arena_name, rows).write(index, outcome)
+    return encode_side(outcome)
+
+
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
@@ -214,17 +253,35 @@ class ProcessEngine:
     pointer at the declarative specs, so the misconfiguration is loud.
     """
 
-    def __init__(self, jobs: Optional[int] = None, fallback_to_serial: bool = False) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        fallback_to_serial: bool = False,
+        ipc: Optional[str] = None,
+    ) -> None:
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.fallback_to_serial = fallback_to_serial
         self.name = "auto" if fallback_to_serial else "process"
+        #: Result collection mode: "shm" (default — dense columns via a
+        #: shared-memory arena) or "pickle" (full outcomes through the
+        #: pool pipe).  ``None`` consults ``REPRO_IPC``.
+        self.ipc = resolve_ipc(ipc)
 
     def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]:
+        return self.collect(specs).outcomes
+
+    def collect(self, specs: Sequence[TrialSpec]) -> TrialCollection:
+        """Run the batch; on the shm path, return it columnar.
+
+        The campaign layer assembles each label's ``OutcomeBatch``
+        straight from a columnar collection's dense arrays; outcome
+        objects materialize lazily if something walks them.
+        """
         specs = list(specs)
         if len(specs) <= 1 or self.jobs == 1:
-            return [run_trial(spec) for spec in specs]
+            return TrialCollection(outcomes=[run_trial(spec) for spec in specs])
         # A configuration is homogeneous (one driver spec, one hook, one
         # profile factory), but a *campaign* batch interleaves several
         # configurations — so probe one representative per label, which
@@ -238,7 +295,9 @@ class ProcessEngine:
                 pickle.dumps(probe)
             except Exception as exc:
                 if self.fallback_to_serial:
-                    return [run_trial(spec) for spec in specs]
+                    return TrialCollection(
+                        outcomes=[run_trial(spec) for spec in specs]
+                    )
                 raise ConfigError(
                     f"trial specs for {probe.label!r} are not picklable ({exc}); "
                     "use declarative driver specs (MSPlayerSpec / SinglePathSpec / "
@@ -248,12 +307,33 @@ class ProcessEngine:
         # overhead against tail latency from uneven trial durations.
         active = min(self.jobs, len(specs))
         chunksize = max(1, -(-len(specs) // (active * 4)))
+        if self.ipc == "pickle":
+            return TrialCollection(
+                outcomes=self._pool_map(run_trial, specs, chunksize)
+            )
+        # shm path: the parent sizes the arena from the spec count, the
+        # workers write dense rows in place, and only the side records
+        # come back through the pipe.  The arena is destroyed (closed +
+        # unlinked) in the ``finally`` whatever happens — including a
+        # BrokenProcessPool that survives _pool_map's fresh-pool retry —
+        # so worker crashes cannot leak /dev/shm segments.  The retry
+        # itself reuses the arena: every row is rewritten.
+        arena = OutcomeArena.create(len(specs))
+        try:
+            work = partial(run_trial_into_arena, arena.name, len(specs))
+            sides = self._pool_map(work, list(enumerate(specs)), chunksize)
+            dense = arena.read_columns()
+        finally:
+            arena.destroy()
+        return TrialCollection(dense=dense, sides=sides)
+
+    def _pool_map(self, fn, items: list, chunksize: int) -> list:
         # The pool is sized (and keyed) by self.jobs, not the batch:
         # idle workers are harmless, and campaigns with varying trial
         # counts then reuse one pool instead of forking per count.
         try:
             pool = _shared_pool(self.jobs)
-            return list(pool.map(run_trial, specs, chunksize=chunksize))
+            return list(pool.map(fn, items, chunksize=chunksize))
         except BrokenProcessPool:
             # The cached pool died (a worker was killed, or a previous
             # campaign broke it).  Evict it and retry once on a fresh
@@ -263,13 +343,13 @@ class ProcessEngine:
             _evict_pool(self.jobs)
             try:
                 pool = _shared_pool(self.jobs)
-                return list(pool.map(run_trial, specs, chunksize=chunksize))
+                return list(pool.map(fn, items, chunksize=chunksize))
             except BrokenProcessPool:
                 _evict_pool(self.jobs)
                 raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ProcessEngine(jobs={self.jobs}, name={self.name!r})"
+        return f"ProcessEngine(jobs={self.jobs}, name={self.name!r}, ipc={self.ipc!r})"
 
 
 def resolve_engine(jobs: Union[int, str, ExecutionEngine, None] = None) -> ExecutionEngine:

@@ -32,6 +32,7 @@ from typing import Callable, Optional, Union
 from ..core.config import PlayerConfig
 from ..rng import RngFactory
 from .campaign import OutcomeBatch, TrialResult
+from .shm import collect_trials
 from .execution import (
     DriverFactory,
     ExecutionEngine,
@@ -102,9 +103,23 @@ class TrialRunner:
         make_driver: DriverFactory,
         scenario_hook: Optional[ScenarioHook] = None,
     ) -> TrialResult:
-        """Execute ``trials`` independent runs of one configuration."""
+        """Execute ``trials`` independent runs of one configuration.
+
+        Collected the same way a campaign is: when the engine's shm
+        path returns columnar data, the batch is assembled straight
+        from the arena columns and outcome objects stay lazy.
+        """
         specs = self.specs_for(label, make_driver, scenario_hook)
-        return TrialResult(label, self.engine.map(specs))
+        collection = collect_trials(self.engine, specs)
+        if collection.columnar:
+            return TrialResult(
+                label,
+                batch=OutcomeBatch.from_dense_and_sides(
+                    collection.dense, collection.sides
+                ),
+                outcome_thunk=lambda: collection.outcomes,
+            )
+        return TrialResult(label, collection.outcomes)
 
     # -- canned factories ---------------------------------------------------------
 

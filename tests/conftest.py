@@ -41,3 +41,17 @@ def link(env: Environment) -> Link:
 @pytest.fixture
 def latency() -> ConstantLatency:
     return ConstantLatency(0.010)  # RTT 20 ms
+
+
+def assert_batches_identical(a, b) -> None:
+    """Two OutcomeBatches hold bit-identical columns (dtypes included).
+
+    The acceptance bar for every collection path (serial, process-
+    pickle, process-shm) and both assembly paths (``from_outcomes``,
+    ``from_dense_and_sides``): not statistically close — the same bits.
+    Delegates to ``OutcomeBatch.column_mismatches`` so the column
+    enumeration and comparison semantics live in one place.
+    """
+    assert a.column_mismatches(b) == [], (
+        f"columns differ between batches: {a.column_mismatches(b)}"
+    )

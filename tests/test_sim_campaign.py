@@ -3,9 +3,9 @@
 The acceptance bar mirrors PR-1's: interleaving *all* configurations of
 a figure sweep into one pool submission must change nothing about the
 per-label results — byte-identical to running ``TrialRunner.run`` once
-per configuration, serial or parallel.  The columnar ``OutcomeBatch``
-must agree exactly with the per-trial Python-loop accessors it
-replaced.
+per configuration, whatever the backend (serial, process-pickle,
+process-shm, auto).  The columnar ``OutcomeBatch`` must agree exactly
+with the per-trial Python-loop accessors it replaced.
 """
 
 from __future__ import annotations
@@ -13,14 +13,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from conftest import assert_batches_identical
 from repro.core.config import PlayerConfig
 from repro.errors import ConfigError
 from repro.sim.campaign import Campaign, OutcomeBatch, TrialResult, interleave
-from repro.sim.execution import TrialSpec
+from repro.sim.execution import ProcessEngine, TrialSpec
 from repro.sim.profiles import testbed_profile, youtube_profile
 from repro.sim.runner import TrialRunner
 from repro.sim.scenario import ScenarioConfig
 from repro.units import KB, format_size
+
+#: Every collection path a campaign can run on, as ``jobs`` values
+#: (engine instances pass through ``resolve_engine`` unchanged).
+#: Factories, not instances — each test gets a fresh engine.
+BACKENDS = [
+    pytest.param(lambda: "serial", id="serial"),
+    pytest.param(lambda: "auto", id="auto"),
+    pytest.param(lambda: ProcessEngine(2, ipc="pickle"), id="process-pickle"),
+    pytest.param(lambda: ProcessEngine(2, ipc="shm"), id="process-shm"),
+]
 
 
 def short_config() -> ScenarioConfig:
@@ -93,6 +104,8 @@ def _fig3_mini_configs() -> list[tuple[str, PlayerConfig]]:
 
 def _assert_results_identical(campaign_result: TrialResult, barrier_result: TrialResult):
     assert campaign_result.label == barrier_result.label
+    # The whole columnar batch, bit for bit — not just the accessors.
+    assert_batches_identical(campaign_result.batch, barrier_result.batch)
     assert campaign_result.startup_delays() == barrier_result.startup_delays()
     assert campaign_result.cycle_durations() == barrier_result.cycle_durations()
     assert campaign_result.traffic_fractions(0, "prebuffer") == (
@@ -109,12 +122,12 @@ def _assert_results_identical(campaign_result: TrialResult, barrier_result: Tria
 class TestCampaignDeterminism:
     """Interleaved campaign == per-configuration barrier path, bytewise."""
 
-    @pytest.mark.parametrize("jobs", ["serial", "auto", 2])
-    def test_fig3_style_sweep_matches_per_configuration_path(self, jobs):
+    @pytest.mark.parametrize("make_jobs", BACKENDS)
+    def test_fig3_style_sweep_matches_per_configuration_path(self, make_jobs):
         runner = TrialRunner(
             testbed_profile, scenario_config=short_config(), root_seed=2015, trials=3
         )
-        campaign = Campaign(jobs=jobs)
+        campaign = Campaign(jobs=make_jobs())
         for label, config in _fig3_mini_configs():
             campaign.add_run(runner, label, runner.msplayer(config))
         campaign_results = campaign.run()
@@ -131,8 +144,8 @@ class TestCampaignDeterminism:
                 campaign_results[label], barrier.run(label, barrier.msplayer(config))
             )
 
-    @pytest.mark.parametrize("jobs", ["serial", "auto"])
-    def test_table1_style_sweep_matches_per_configuration_path(self, jobs):
+    @pytest.mark.parametrize("make_jobs", BACKENDS)
+    def test_table1_style_sweep_matches_per_configuration_path(self, make_jobs):
         """Table 1's shape: one runner per duration (different scenario
         configs), all registered in a single campaign."""
 
@@ -148,7 +161,7 @@ class TestCampaignDeterminism:
                 config = PlayerConfig(prebuffer_s=duration, rebuffer_fetch_s=duration)
                 yield duration, runner, config
 
-        campaign = Campaign(jobs=jobs)
+        campaign = Campaign(jobs=make_jobs())
         for duration, runner, config in runners():
             campaign.add_run(
                 runner,
@@ -246,3 +259,24 @@ class TestOutcomeBatch:
         assert len(partial.batch) == 2
         partial.outcomes.append(result.outcomes[2])
         assert len(partial.batch) == 3
+
+    def test_batch_only_result_rejected(self, result):
+        # A batch with no outcome source would serve .outcomes == []
+        # beside a non-empty batch; the constructor fails loudly.
+        with pytest.raises(ConfigError, match="outcome source"):
+            TrialResult("orphan", batch=result.batch)
+
+    def test_results_compare_by_value(self, result):
+        same = TrialResult(result.label, list(result.outcomes))
+        assert result == same
+        assert result != TrialResult("other", list(result.outcomes))
+        assert result != TrialResult(result.label, result.outcomes[:1])
+        assert result.__eq__(42) is NotImplemented
+
+    def test_column_mismatches_flags_exactly_the_diverged_column(self, result):
+        batch = result.batch
+        assert batch.column_mismatches(batch) == []
+        rebuilt = OutcomeBatch.from_outcomes(result.outcomes)
+        assert batch.column_mismatches(rebuilt) == []
+        rebuilt.finished_at[0] += 1.0
+        assert batch.column_mismatches(rebuilt) == ["finished_at"]

@@ -1,0 +1,332 @@
+"""Shared-memory outcome collection: arena, IPC modes, crash cleanup.
+
+The shm path is the process backend's default, so its acceptance bar is
+the same byte-identity the pickle path earned in PR-1/PR-2 — plus a
+lifecycle guarantee: however a campaign ends (cleanly, one broken pool,
+two broken pools), no ``/dev/shm`` segment survives it and the resource
+tracker has nothing to complain about at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from conftest import assert_batches_identical
+from repro.core.config import PlayerConfig
+from repro.errors import ConfigError
+from repro.sim.campaign import Campaign, OutcomeBatch
+from repro.sim.execution import ProcessEngine, SerialEngine
+from repro.sim.profiles import testbed_profile
+from repro.sim.runner import TrialRunner
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.shm import ARENA_PREFIX, OutcomeArena, collect_trials, resolve_ipc
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SHM_DIR = "/dev/shm"
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="no /dev/shm to inspect on this platform"
+)
+
+
+def _arena_segments() -> set[str]:
+    return {f for f in os.listdir(SHM_DIR) if f.startswith(ARENA_PREFIX)}
+
+
+def short_config() -> ScenarioConfig:
+    return ScenarioConfig(video_duration_s=120.0)
+
+
+def _runner(engine) -> TrialRunner:
+    return TrialRunner(
+        testbed_profile, scenario_config=short_config(), trials=4, engine=engine
+    )
+
+
+def _kill_worker(scenario) -> None:
+    """Module-level (picklable) hook that hard-kills the worker."""
+    os._exit(13)
+
+
+class TestIpcResolution:
+    def test_default_is_shm(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IPC", raising=False)
+        assert resolve_ipc() == "shm"
+        assert ProcessEngine(2).ipc == "shm"
+
+    def test_env_var_selects_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IPC", "pickle")
+        assert resolve_ipc() == "pickle"
+        assert ProcessEngine(2).ipc == "pickle"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IPC", "pickle")
+        assert ProcessEngine(2, ipc="shm").ipc == "shm"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError, match="ipc"):
+            resolve_ipc("arrow")
+        with pytest.raises(ConfigError, match="ipc"):
+            ProcessEngine(2, ipc="mmap")
+
+
+class TestArenaLifecycle:
+    @needs_dev_shm
+    def test_create_write_destroy(self):
+        before = _arena_segments()
+        arena = OutcomeArena.create(3)
+        assert arena.name.startswith(ARENA_PREFIX)
+        created = _arena_segments() - before
+        assert len(created) == 1
+        arena.destroy()
+        assert _arena_segments() == before
+
+    @needs_dev_shm
+    def test_destroy_is_idempotent(self):
+        arena = OutcomeArena.create(1)
+        arena.destroy()
+        arena.destroy()  # second destroy of an unlinked arena: no-op
+
+    def test_zero_row_arena_supported(self):
+        # A campaign never collects zero specs through shm, but the
+        # arena must not trip on the degenerate size (segments of zero
+        # bytes are invalid at the OS level).
+        arena = OutcomeArena.create(0)
+        try:
+            assert all(len(col) == 0 for col in arena.read_columns().values())
+        finally:
+            arena.destroy()
+
+    def test_attach_sees_writes(self):
+        serial = SerialEngine()
+        runner = _runner(serial)
+        outcomes = serial.map(runner.specs_for("att", runner.msplayer(PlayerConfig())))
+        arena = OutcomeArena.create(len(outcomes))
+        attached = None
+        try:
+            attached = OutcomeArena.attach(arena.name, len(outcomes))
+            for i, outcome in enumerate(outcomes):
+                attached.write(i, outcome)
+            dense = arena.read_columns()
+            assert dense["finished_at"].tolist() == [o.finished_at for o in outcomes]
+            assert dense["failovers"].tolist() == [
+                o.metrics.failovers for o in outcomes
+            ]
+        finally:
+            if attached is not None:
+                attached.close()
+            arena.destroy()
+
+
+class TestEngineCollection:
+    """collect() shapes, laziness, and cross-mode byte-identity."""
+
+    def test_serial_conditions_are_not_columnar(self):
+        engine = ProcessEngine(2, ipc="shm")
+        runner = _runner(engine)
+        specs = runner.specs_for("one", runner.msplayer(PlayerConfig()))[:1]
+        collection = engine.collect(specs)  # single spec: in-process path
+        assert not collection.columnar
+        assert len(collection) == 1
+
+    def test_shm_collection_is_columnar_and_lazy(self):
+        engine = ProcessEngine(2, ipc="shm")
+        runner = _runner(engine)
+        specs = runner.specs_for("col", runner.msplayer(PlayerConfig()))
+        collection = engine.collect(specs)
+        assert collection.columnar
+        assert collection._outcomes is None  # nothing materialized yet
+        reference = SerialEngine().map(specs)
+        assert collection.outcomes == reference  # deep dataclass equality
+        assert collection._outcomes is not None
+
+    def test_pickle_collection_is_not_columnar(self):
+        engine = ProcessEngine(2, ipc="pickle")
+        runner = _runner(engine)
+        specs = runner.specs_for("pk", runner.msplayer(PlayerConfig()))
+        collection = engine.collect(specs)
+        assert not collection.columnar
+        assert collection.outcomes == SerialEngine().map(specs)
+
+    def test_map_identical_across_modes(self):
+        runner = _runner(SerialEngine())
+        specs = runner.specs_for("modes", runner.msplayer(PlayerConfig()))
+        serial = SerialEngine().map(specs)
+        assert ProcessEngine(2, ipc="shm").map(specs) == serial
+        assert ProcessEngine(2, ipc="pickle").map(specs) == serial
+
+    def test_auto_fallback_for_closures_is_not_columnar(self):
+        from repro.sim.driver import MSPlayerDriver
+
+        def closure_factory(scenario):
+            return MSPlayerDriver(scenario, PlayerConfig(), stop="prebuffer")
+
+        engine = ProcessEngine(2, fallback_to_serial=True, ipc="shm")
+        runner = _runner(engine)
+        collection = engine.collect(runner.specs_for("cl", closure_factory))
+        assert not collection.columnar
+        assert len(collection) == 4
+
+    def test_collect_trials_wraps_plain_engines(self):
+        runner = _runner(SerialEngine())
+        specs = runner.specs_for("wrap", runner.msplayer(PlayerConfig()))
+        collection = collect_trials(SerialEngine(), specs)
+        assert not collection.columnar
+        assert collection.outcomes == SerialEngine().map(specs)
+
+    def test_campaign_shm_results_preassembled_and_lazy(self):
+        runner = _runner(SerialEngine())  # the runner only builds specs here
+        campaign = Campaign(engine=ProcessEngine(2, ipc="shm"))
+        campaign.add_run(runner, "lazy", runner.msplayer(PlayerConfig()))
+        result = campaign.run()["lazy"]
+        # The batch came straight off the arena columns...
+        assert result._batch is not None
+        assert result._outcomes is None
+        # ...and equals the object-built batch exactly.
+        serial = _runner(SerialEngine()).run("lazy", runner.msplayer(PlayerConfig()))
+        assert_batches_identical(result.batch, serial.batch)
+        # Walking .outcomes materializes and matches, and the batch
+        # cache survives (same length, no rebuild).
+        assert result.outcomes == serial.outcomes
+        assert result._batch is not None
+        assert_batches_identical(
+            OutcomeBatch.from_outcomes(result.outcomes), result.batch
+        )
+
+
+class TestCrashCleanup:
+    """Worker crashes must not leak segments — and retries still work."""
+
+    JOBS = 2
+
+    @needs_dev_shm
+    def test_crash_unlinks_all_segments_and_fresh_pool_recovers(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.sim import execution
+
+        before = _arena_segments()
+        engine = ProcessEngine(self.JOBS, ipc="shm")
+        runner = _runner(engine)
+        # Killer specs break the fresh retry pool too: the engine
+        # re-raises, but the arena (both attempts') must be gone.
+        with pytest.raises(BrokenProcessPool):
+            runner.run(
+                "killer", runner.msplayer(PlayerConfig()), scenario_hook=_kill_worker
+            )
+        assert _arena_segments() == before
+        assert self.JOBS not in execution._POOLS
+
+        # The same engine keeps working on a fresh fork, byte-identical
+        # to a serial run.
+        healthy = runner.run("healthy", runner.msplayer(PlayerConfig()))
+        reference = _runner(SerialEngine()).run(
+            "healthy", runner.msplayer(PlayerConfig())
+        )
+        assert healthy.outcomes == reference.outcomes
+        assert _arena_segments() == before
+
+    @needs_dev_shm
+    def test_single_break_retry_reuses_arena_and_cleans_up(self, monkeypatch):
+        """First map attempt dies on a simulated broken pool; the retry
+        rewrites every arena row on a fresh fork and the caller sees
+        correct results with no leftover segments."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.sim import execution
+
+        class _BrokenOnce:
+            def map(self, fn, specs, chunksize=1):
+                raise BrokenProcessPool("simulated dead executor")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setitem(execution._POOLS, self.JOBS, _BrokenOnce())
+        before = _arena_segments()
+        engine = ProcessEngine(self.JOBS, ipc="shm")
+        runner = _runner(engine)
+        result = runner.run("recovered", runner.msplayer(PlayerConfig()))
+        reference = _runner(SerialEngine()).run(
+            "recovered", runner.msplayer(PlayerConfig())
+        )
+        assert result.outcomes == reference.outcomes
+        assert _arena_segments() == before
+
+    def test_no_resource_tracker_leak_warnings(self):
+        """A fresh interpreter that crashes a campaign mid-flight and
+        then runs a healthy one must exit with a clean stderr — no
+        ``resource_tracker`` "leaked shared_memory objects" warnings,
+        no stray tracebacks from tracker bookkeeping."""
+        code = (
+            "import os, sys\n"
+            "from concurrent.futures.process import BrokenProcessPool\n"
+            "from repro.core.config import PlayerConfig\n"
+            "from repro.sim.execution import ProcessEngine\n"
+            "from repro.sim.profiles import testbed_profile\n"
+            "from repro.sim.runner import TrialRunner\n"
+            "from repro.sim.scenario import ScenarioConfig\n"
+            "def kill(scenario):\n"
+            "    os._exit(13)\n"
+            "runner = TrialRunner(testbed_profile,\n"
+            "    scenario_config=ScenarioConfig(video_duration_s=120.0),\n"
+            "    trials=4, engine=ProcessEngine(2, ipc='shm'))\n"
+            "try:\n"
+            "    runner.run('killer', runner.msplayer(PlayerConfig()), scenario_hook=kill)\n"
+            "except BrokenProcessPool:\n"
+            "    pass\n"
+            "else:\n"
+            "    sys.exit(3)\n"
+            "healthy = runner.run('healthy', runner.msplayer(PlayerConfig()))\n"
+            "assert len(healthy.outcomes) == 4\n"
+            "print('OK')\n"
+        )
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        env.pop("REPRO_IPC", None)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+        for marker in ("leaked shared_memory", "resource_tracker", "Traceback"):
+            assert marker not in proc.stderr, proc.stderr
+
+
+class TestCliIpcFlag:
+    def test_ipc_flag_scoped_to_the_invocation(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_IPC", raising=False)
+        # x3 is a single-pass experiment — the flag must still be
+        # accepted (and validated) uniformly across experiment ids.
+        assert main(["experiment", "x3", "--ipc", "pickle"]) == 0
+        # ...and must not leak past the run for in-process callers.
+        assert "REPRO_IPC" not in os.environ
+
+    def test_ipc_flag_overrides_env_then_restores_it(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        # A broken env value fails --jobs validation (engine
+        # construction resolves the ipc mode)...
+        monkeypatch.setenv("REPRO_IPC", "bogus")
+        assert main(["experiment", "fig2", "--trials", "2", "--jobs", "2"]) == 2
+        # ...but --ipc overrides it for the run, which proves the flag
+        # is actually live while the campaign executes — and the prior
+        # env value (however broken) is restored afterwards.
+        assert (
+            main(["experiment", "fig2", "--trials", "2", "--jobs", "2", "--ipc", "shm"])
+            == 0
+        )
+        assert os.environ["REPRO_IPC"] == "bogus"
+
+    def test_invalid_ipc_rejected_by_parser(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig2", "--ipc", "arrow"])
