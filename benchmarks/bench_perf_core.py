@@ -6,8 +6,8 @@ tracks *speed*: raw kernel event throughput, TCP exchange throughput
 throughput serial vs ``--jobs auto``, whole-sweep campaign submission
 vs the per-configuration barrier path, and columnar (OutcomeBatch /
 vectorized bootstrap) vs per-trial Python-loop aggregation.  Numbers
-land in ``results/BENCH_perf_core.json`` so the perf trajectory is
-populated run over run.
+land in ``benchmarks/results/BENCH_perf_core.json`` so the perf
+trajectory is populated run over run.
 
 Determinism is asserted alongside speed: the parallel campaign must
 reproduce the serial outcomes byte-for-byte.

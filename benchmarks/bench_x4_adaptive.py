@@ -8,7 +8,7 @@ DASH exists to make.
 """
 
 import numpy as np
-from conftest import run_once, trials
+from conftest import trials
 
 from repro.core.config import PlayerConfig
 from repro.ext.adaptive import (

@@ -31,9 +31,14 @@ def run_comparison(n_trials: int):
 
     measurements = {"MSPlayer": [], "WiFi only": [], "LTE only": []}
     for seed in range(n_trials):
-        world = lambda: Scenario(
-            youtube_profile(), seed=seed, config=ScenarioConfig(video_duration_s=150.0)
-        )
+
+        def world(seed=seed):
+            return Scenario(
+                youtube_profile(),
+                seed=seed,
+                config=ScenarioConfig(video_duration_s=150.0),
+            )
+
         ms = MSPlayerDriver(world(), config, stop="prebuffer").run()
         measurements["MSPlayer"].append(
             (ms.startup_delay, model_dual.report(ms.metrics))

@@ -27,6 +27,8 @@ table1     WiFi traffic fraction, pre/re-buffering, 20/40/60 s
 x1         robustness: server failure + WiFi outage
 x2         source diversity vs single-server MPTCP analogue
 x3         estimator ablation on bursty traces
+x6         server-selection policies under replicated client
+           populations (population campaign)
 =========  ==========================================================
 """
 
@@ -40,6 +42,7 @@ import numpy as np
 
 from ..core.config import PlayerConfig
 from ..core.estimators import make_estimator
+from ..ext.multi_client import MultiClientExperiment
 from ..net.tls import TLSParams, eta, head_start, psi
 from ..sim.campaign import Campaign
 from ..sim.driver import MSPlayerDriver
@@ -232,7 +235,10 @@ def fig3_scheduler_sweep(
             sections.append(
                 render_distribution_rows(
                     samples,
-                    title=f"Fig. 3 — pre-buffer {prebuffer:.0f}s, initial chunk {format_size(chunk)}",
+                    title=(
+                        f"Fig. 3 — pre-buffer {prebuffer:.0f}s, "
+                        f"initial chunk {format_size(chunk)}"
+                    ),
                 )
             )
     return ExperimentResult("fig3", "\n\n".join(sections), raw)
@@ -320,7 +326,9 @@ def fig5_rebuffer(
             campaign.add_run(
                 runner,
                 f"{label}-{rebuffer}",
-                runner.singlepath(iface, chunk, config, stop="cycles", target_cycles=target_cycles),
+                runner.singlepath(
+                    iface, chunk, config, stop="cycles", target_cycles=target_cycles
+                ),
             )
         campaign.add_run(
             runner,
@@ -551,6 +559,73 @@ def x2_source_diversity(trials: int = 10, seed: int = 2020, jobs: Jobs = None) -
         rows, title="EXP-X2 — source diversity ablation (overloadable servers)"
     )
     return ExperimentResult("x2", rendered, raw)
+
+
+# ---------------------------------------------------------------------------
+# EXP-X6 — server-selection policies under client populations
+# ---------------------------------------------------------------------------
+
+
+def x6_population(
+    replicates: int = 5,
+    clients: int = 12,
+    seed: int = 2022,
+    policies: tuple[str, ...] = ("static", "rotate", "least_loaded"),
+    jobs: Jobs = None,
+) -> ExperimentResult:
+    """Load imbalance and start-up per selection policy, over replicated
+    flash-crowd populations (§2's source-diversity argument at scale).
+
+    One :class:`~repro.ext.population.PopulationCampaign`: every
+    (policy, replicate) pair is a whole ``clients``-strong
+    :class:`~repro.ext.multi_client.MultiClientExperiment` population
+    run as one work unit, so replicates fan out across processes while
+    each population keeps its single shared environment.  Replicate
+    seeds are policy-independent — every policy faces the same
+    sequence of seeded populations.
+    """
+    experiment = MultiClientExperiment(
+        youtube_profile,
+        client_count=clients,
+        seed=seed,
+        video_duration_s=120.0,
+        overload_threshold=2,
+    )
+    results = experiment.compare(policies, replicates=replicates, jobs=jobs)
+    rows = []
+    raw: dict[str, dict[str, float]] = {}
+    for policy in policies:
+        batch = results[policy].batch
+        delays = np.asarray(results[policy].startup_delays())
+        raw[policy] = {
+            "imbalance_mean": float(np.mean(batch.load_imbalance)),
+            "imbalance_std": float(np.std(batch.load_imbalance)),
+            "median_startup_s": float(np.median(delays)),
+            "p95_startup_s": float(np.quantile(delays, 0.95)),
+            "total_server_mb": float(np.sum(batch.total_server_bytes) / 1e6),
+            "completed": int(np.sum(batch.completed)),
+            "sessions": clients * replicates,
+        }
+        rows.append(
+            {
+                "policy": policy,
+                "load imbalance (max/mean)": (
+                    f"{raw[policy]['imbalance_mean']:.2f} "
+                    f"+/- {raw[policy]['imbalance_std']:.2f}"
+                ),
+                "median start-up (s)": f"{raw[policy]['median_startup_s']:.2f}",
+                "p95 start-up (s)": f"{raw[policy]['p95_startup_s']:.2f}",
+                "sessions": f"{raw[policy]['completed']}/{clients * replicates}",
+            }
+        )
+    rendered = format_table(
+        rows,
+        title=(
+            f"EXP-X6 — {len(policies)} selection policies x {replicates} "
+            f"replicate populations of {clients} clients, overloadable servers"
+        ),
+    )
+    return ExperimentResult("x6", rendered, raw)
 
 
 # ---------------------------------------------------------------------------

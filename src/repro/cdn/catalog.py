@@ -97,7 +97,9 @@ class Catalog:
             )
         return catalog
 
-    def popularity_weights(self, rng: np.random.Generator, zipf_s: float = 1.1) -> dict[str, float]:
+    def popularity_weights(
+        self, rng: np.random.Generator, zipf_s: float = 1.1
+    ) -> dict[str, float]:
         """Zipf popularity over the catalog (heavier head for larger ``s``).
 
         Returned weights sum to 1 and are suitable for

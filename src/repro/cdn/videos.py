@@ -51,9 +51,13 @@ FORMATS: dict[int, VideoFormat] = {
     for fmt in (
         VideoFormat(18, "mp4", "360p", video_bitrate_bps=600_000.0, audio_bitrate_bps=96_000.0),
         VideoFormat(22, "mp4", "720p", video_bitrate_bps=2_500_000.0, audio_bitrate_bps=192_000.0),
-        VideoFormat(37, "mp4", "1080p", video_bitrate_bps=4_300_000.0, audio_bitrate_bps=192_000.0),
+        VideoFormat(
+            37, "mp4", "1080p", video_bitrate_bps=4_300_000.0, audio_bitrate_bps=192_000.0
+        ),
         VideoFormat(43, "webm", "360p", video_bitrate_bps=500_000.0, audio_bitrate_bps=128_000.0),
-        VideoFormat(45, "webm", "720p", video_bitrate_bps=2_000_000.0, audio_bitrate_bps=192_000.0),
+        VideoFormat(
+            45, "webm", "720p", video_bitrate_bps=2_000_000.0, audio_bitrate_bps=192_000.0
+        ),
     )
 }
 

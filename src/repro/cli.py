@@ -5,7 +5,7 @@ Commands:
 * ``play`` — run one MSPlayer session on a simulated profile and print
   its QoE metrics;
 * ``experiment`` — regenerate a paper figure/table by id (fig1…fig5,
-  table1, x1…x3) and print the panel;
+  table1, x1…x3, x6) and print the panel;
 * ``adaptive`` — run the DASH-extension player with a chosen controller;
 * ``list`` — show available experiments and profiles.
 """
@@ -31,17 +31,21 @@ from .sim.profiles import PROFILES
 from .sim.scenario import Scenario, ScenarioConfig
 from .units import parse_size
 
-#: experiment id -> (callable, accepts_trials)
-EXPERIMENTS: dict[str, tuple[Callable, bool]] = {
-    "fig1": (exp.fig1_bootstrap_timing, False),
-    "fig2": (exp.fig2_prebuffer_testbed, True),
-    "fig3": (exp.fig3_scheduler_sweep, True),
-    "fig4": (exp.fig4_prebuffer_youtube, True),
-    "fig5": (exp.fig5_rebuffer, True),
-    "table1": (exp.table1_traffic_fraction, True),
-    "x1": (exp.x1_robustness, True),
-    "x2": (exp.x2_source_diversity, True),
-    "x3": (exp.x3_estimators, False),
+#: experiment id -> (callable, kind).  ``single`` experiments are
+#: deterministic one-pass functions; ``trials`` experiments take the
+#: --trials/--jobs campaign knobs; ``population`` experiments take
+#: --replicates/--clients/--jobs (whole populations as work units).
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig1": (exp.fig1_bootstrap_timing, "single"),
+    "fig2": (exp.fig2_prebuffer_testbed, "trials"),
+    "fig3": (exp.fig3_scheduler_sweep, "trials"),
+    "fig4": (exp.fig4_prebuffer_youtube, "trials"),
+    "fig5": (exp.fig5_rebuffer, "trials"),
+    "table1": (exp.table1_traffic_fraction, "trials"),
+    "x1": (exp.x1_robustness, "trials"),
+    "x2": (exp.x2_source_diversity, "trials"),
+    "x3": (exp.x3_estimators, "single"),
+    "x6": (exp.x6_population, "population"),
 }
 
 CONTROLLERS = {
@@ -75,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
-    experiment.add_argument("--trials", type=int, default=10)
+    # None (not 10) so misuse on non-trials experiments is detectable;
+    # the trials branch resolves None to the historical default of 10.
+    experiment.add_argument("--trials", type=int, default=None)
     experiment.add_argument(
         "--jobs",
         default=None,
@@ -94,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
         "workers write dense outcome columns into a shared-memory arena, "
         "'pickle' sends full outcome objects through the pool pipe.  "
         "Byte-identical results either way; sets REPRO_IPC for the run",
+    )
+    experiment.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        metavar="R",
+        help="population experiments (x6) only: independently seeded "
+        "populations per policy; each whole population is one parallel "
+        "work unit",
+    )
+    experiment.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="C",
+        help="population experiments (x6) only: simultaneous MSPlayer "
+        "clients per population (a flash crowd sharing one CDN deployment)",
     )
 
     adaptive = sub.add_parser("adaptive", help="run the DASH-extension player (§7)")
@@ -132,7 +155,28 @@ def _command_play(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    function, takes_trials = EXPERIMENTS[args.id]
+    function, kind = EXPERIMENTS[args.id]
+    if kind != "population" and (
+        args.replicates is not None or args.clients is not None
+    ):
+        print(
+            f"error: --replicates/--clients only apply to population "
+            f"experiments, not {args.id!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if kind != "trials" and args.trials is not None:
+        print(
+            f"error: --trials does not apply to {args.id!r}"
+            + (" (use --replicates/--clients)" if kind == "population" else ""),
+            file=sys.stderr,
+        )
+        return 2
+    if (args.replicates is not None and args.replicates < 1) or (
+        args.clients is not None and args.clients < 1
+    ):
+        print("error: --replicates and --clients must be >= 1", file=sys.stderr)
+        return 2
     # The experiment functions take a jobs knob but construct their own
     # engines, so the collection mode travels via the environment —
     # --ipc overrides REPRO_IPC for this invocation only (restored on
@@ -155,9 +199,19 @@ def _command_experiment(args: argparse.Namespace) -> int:
             return 2
         # Trial-based experiments all accept the execution-backend knob;
         # fig1/x3 are deterministic single passes with nothing to fan out.
-        result = (
-            function(trials=args.trials, jobs=args.jobs) if takes_trials else function()
-        )
+        if kind == "trials":
+            trials = 10 if args.trials is None else args.trials
+            result = function(trials=trials, jobs=args.jobs)
+        elif kind == "population":
+            # None falls through to the experiment function's defaults.
+            kwargs = {}
+            if args.replicates is not None:
+                kwargs["replicates"] = args.replicates
+            if args.clients is not None:
+                kwargs["clients"] = args.clients
+            result = function(jobs=args.jobs, **kwargs)
+        else:
+            result = function()
     finally:
         if args.ipc is not None:
             if previous_ipc is None:

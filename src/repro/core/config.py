@@ -13,7 +13,7 @@ Defaults follow the paper exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigError
 from ..units import KB, MB, parse_size

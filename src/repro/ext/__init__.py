@@ -8,7 +8,11 @@
   can be integrated with MSPlayer");
 * :mod:`repro.ext.multi_client` — many MSPlayer clients sharing one CDN
   deployment, for server-selection-policy studies (the load-balancing
-  concern behind §2's source-diversity argument).
+  concern behind §2's source-diversity argument);
+* :mod:`repro.ext.population` — population campaigns: whole
+  multi-client populations as parallel work units (policy ×
+  seed-replicate × client count), collected through the shared-memory
+  arena into per-policy columnar batches.
 """
 
 from .energy import EnergyModel, EnergyReport, LTE_ENERGY, WIFI_ENERGY
@@ -21,8 +25,18 @@ from .adaptive import (
     ThroughputController,
 )
 from .multi_client import MultiClientExperiment, MultiClientResult
+from .population import (
+    PopulationBatch,
+    PopulationCampaign,
+    PopulationResult,
+    PopulationSpec,
+)
 
 __all__ = [
+    "PopulationBatch",
+    "PopulationCampaign",
+    "PopulationResult",
+    "PopulationSpec",
     "EnergyModel",
     "EnergyReport",
     "WIFI_ENERGY",

@@ -251,10 +251,9 @@ class AdaptiveSimDriver:
 
     def _path_loop(self, path_id: int):
         env = self.scenario.env
-        path = self._paths[path_id]
         try:
             yield from self._bootstrap(path_id)
-        except (NetworkError, CDNError, HTTPError) as exc:
+        except (NetworkError, CDNError, HTTPError):
             # Single-shot bootstrap per path; a dead path just idles
             # (robust failover is exercised by the core player).
             return

@@ -211,6 +211,64 @@ class MultiClientExperiment:
         result.server_bytes = deployment.total_bytes_served()
         return result
 
-    def compare(self, policies: tuple[str, ...] = ("static", "rotate", "least_loaded")):
-        """Run every policy on an identically seeded population."""
-        return {policy: self.run(policy) for policy in policies}
+    # -- population campaigns -----------------------------------------------
+
+    def replicate_seed(self, replicate: int) -> int:
+        """The derived seed of one replicate population.
+
+        Policy-independent on purpose: every policy of a comparison
+        sees the *same* sequence of seeded populations, so policy
+        differences are never confounded with seed differences (the
+        population analogue of the paper's identically seeded
+        configuration repetitions).
+        """
+        return RngFactory(self.seed).child(f"replicate-{replicate}").integer(
+            "population"
+        )
+
+    def specs_for(self, policy: str, replicates: int = 1) -> list:
+        """Picklable :class:`~repro.ext.population.PopulationSpec`s that
+        rebuild this experiment (one whole population per spec) on any
+        execution backend."""
+        # Imported lazily: repro.ext.population imports from this
+        # module, and a module-level import would close that cycle.
+        from .population import PopulationSpec
+
+        return [
+            PopulationSpec(
+                label=policy,
+                trial=replicate,
+                seed=self.replicate_seed(replicate),
+                policy=policy,
+                client_count=self.client_count,
+                profile_factory=self.profile_factory,
+                video_duration_s=self.video_duration_s,
+                overload_threshold=self.overload_threshold,
+                player_config=self.player_config,
+                stop=self.stop,
+            )
+            for replicate in range(replicates)
+        ]
+
+    def compare(
+        self,
+        policies: tuple[str, ...] = ("static", "rotate", "least_loaded"),
+        replicates: int = 1,
+        jobs=None,
+    ):
+        """Run every policy over identically seeded replicate populations.
+
+        One :class:`~repro.ext.population.PopulationCampaign`: all
+        ``len(policies) × replicates`` populations are interleaved into
+        a single engine submission (replicate *i* of every policy
+        before replicate *i+1* of any) and demultiplexed per policy
+        into :class:`~repro.ext.population.PopulationResult`s.  Results
+        are byte-identical whatever the backend (``jobs`` takes the
+        usual ``None``/``"serial"``/``"auto"``/``N``/engine values).
+        """
+        from .population import PopulationCampaign
+
+        campaign = PopulationCampaign(jobs=jobs)
+        for policy in policies:
+            campaign.add(self.specs_for(policy, replicates))
+        return campaign.run()

@@ -18,7 +18,13 @@ middleboxes that break MPTCP.  This package supplies:
 
 from .headers import Headers
 from .messages import Request, Response
-from .ranges import ByteRange, format_content_range, format_range_header, parse_content_range, parse_range_header
+from .ranges import (
+    ByteRange,
+    format_content_range,
+    format_range_header,
+    parse_content_range,
+    parse_range_header,
+)
 from .status import STATUS_REASONS, status_reason
 from .h1 import H1Parser, ParsedMessage
 from .client import SimHTTPClient

@@ -50,7 +50,9 @@ class Request:
     # -- conveniences ---------------------------------------------------------
 
     @classmethod
-    def get(cls, target: str, host: str, byte_range: ByteRange | None = None, **extra: str) -> "Request":
+    def get(
+        cls, target: str, host: str, byte_range: ByteRange | None = None, **extra: str
+    ) -> "Request":
         """Build a GET with the header set MSPlayer sends (§4).
 
         >>> request = Request.get("/video", "cdn.example", ByteRange(0, 65536))

@@ -112,7 +112,8 @@ class LivePlayerDriver:
         self.target_cycles = target_cycles
         self.timeout_s = timeout_s
         path_specs = [
-            (f"lo{i}", network_ids[i]) for i in range(min(len(proxy_addresses), self.config.max_paths))
+            (f"lo{i}", network_ids[i])
+            for i in range(min(len(proxy_addresses), self.config.max_paths))
         ]
         self.session = PlayerSession(self.config, path_specs)
         self._runtimes = {

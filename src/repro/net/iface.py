@@ -43,7 +43,9 @@ class NetworkInterface:
         tcp_params: TCPParams | None = None,
     ) -> None:
         if kind not in self.KNOWN_KINDS:
-            raise ConfigError(f"unknown interface kind {kind!r}; expected one of {self.KNOWN_KINDS}")
+            raise ConfigError(
+                f"unknown interface kind {kind!r}; expected one of {self.KNOWN_KINDS}"
+            )
         self.env = env
         self.name = name
         self.kind = kind

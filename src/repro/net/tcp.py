@@ -75,7 +75,9 @@ class TransferResult:
 
     __slots__ = ("requested_at", "first_byte_at", "completed_at", "num_bytes")
 
-    def __init__(self, requested_at: float, first_byte_at: float, completed_at: float, num_bytes: int) -> None:
+    def __init__(
+        self, requested_at: float, first_byte_at: float, completed_at: float, num_bytes: int
+    ) -> None:
         self.requested_at = requested_at
         self.first_byte_at = first_byte_at
         self.completed_at = completed_at

@@ -49,8 +49,10 @@ from .execution import (
     SessionDriver,
     SinglePathSpec,
     TrialSpec,
+    WorkSpec,
     resolve_engine,
     run_trial,
+    run_unit,
 )
 from .shm import OutcomeArena, SideRecord, TrialCollection, collect_trials, resolve_ipc
 from .campaign import Campaign, OutcomeBatch
@@ -70,8 +72,10 @@ __all__ = [
     "SessionDriver",
     "SinglePathSpec",
     "TrialSpec",
+    "WorkSpec",
     "resolve_engine",
     "run_trial",
+    "run_unit",
     "InterfaceProfile",
     "NetworkProfile",
     "testbed_profile",

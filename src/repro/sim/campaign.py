@@ -43,7 +43,34 @@ from .driver import SessionOutcome
 from .execution import ExecutionEngine, TrialSpec, resolve_engine
 from .shm import SideRecord, collect_trials, rebuild_outcomes
 
-__all__ = ["Campaign", "OutcomeBatch", "TrialResult", "interleave"]
+__all__ = [
+    "Campaign",
+    "OutcomeBatch",
+    "TrialResult",
+    "dense_field_mismatches",
+    "interleave",
+]
+
+
+def dense_field_mismatches(a, b) -> list[str]:
+    """Names of ndarray dataclass fields not bit-identical between two
+    batches of the same kind.
+
+    The determinism predicate every collection-path test asserts on: a
+    column counts as mismatched if its dtype differs or any element's
+    bits do (NaN == NaN — never-started sessions must not read as
+    nondeterminism).  Enumerated from the dataclass fields so a future
+    column cannot silently escape; shared by ``OutcomeBatch`` and
+    ``repro.ext.population.PopulationBatch``.
+    """
+    mismatched = []
+    for batch_field in fields(a):
+        mine, theirs = getattr(a, batch_field.name), getattr(b, batch_field.name)
+        if mine.dtype != theirs.dtype or not np.array_equal(
+            mine, theirs, equal_nan=mine.dtype.kind == "f"
+        ):
+            mismatched.append(batch_field.name)
+    return mismatched
 
 
 # ---------------------------------------------------------------------------
@@ -210,19 +237,10 @@ class OutcomeBatch:
         """Names of columns that are not bit-identical to ``other``'s.
 
         The determinism predicate the test wall and ``bench_perf_core``
-        assert on: a column counts as mismatched if its dtype differs
-        or any element's bits do (NaN == NaN — never-started trials
-        must not read as nondeterminism).  Enumerated from the
-        dataclass fields so a future column cannot silently escape.
+        assert on; see :func:`dense_field_mismatches` for the
+        comparison semantics.
         """
-        mismatched = []
-        for field in fields(self):
-            mine, theirs = getattr(self, field.name), getattr(other, field.name)
-            if mine.dtype != theirs.dtype or not np.array_equal(
-                mine, theirs, equal_nan=mine.dtype.kind == "f"
-            ):
-                mismatched.append(field.name)
-        return mismatched
+        return dense_field_mismatches(self, other)
 
     # -- vectorized views ---------------------------------------------------
 
@@ -436,7 +454,7 @@ class Campaign:
         rows_by_label: dict[str, list[int]] = {label: [] for label in self._labels}
         for i, spec in enumerate(merged):
             rows_by_label[spec.label].append(i)
-        results: dict[str, TrialResult] = {}
+        results = {}
         for label in self._labels:
             rows = rows_by_label[label]
             if collection.columnar:
@@ -444,13 +462,26 @@ class Campaign:
                     name: column[rows] for name, column in collection.dense.items()
                 }
                 sides = [collection.sides[i] for i in rows]
-                results[label] = TrialResult(
-                    label,
-                    batch=OutcomeBatch.from_dense_and_sides(dense, sides),
-                    outcome_thunk=partial(rebuild_outcomes, dense, sides),
-                )
+                results[label] = self._result_from_columnar(label, dense, sides)
             else:
-                results[label] = TrialResult(
+                results[label] = self._result_from_outcomes(
                     label, [collection.outcomes[i] for i in rows]
                 )
         return results
+
+    # -- demux hooks (overridden by other campaign kinds) -------------------
+
+    def _result_from_outcomes(self, label: str, outcomes: list) -> TrialResult:
+        """Wrap one label's materialized results (serial/pickle paths)."""
+        return TrialResult(label, outcomes)
+
+    def _result_from_columnar(
+        self, label: str, dense: dict[str, np.ndarray], sides: list
+    ) -> TrialResult:
+        """Wrap one label's columnar slice (shm path): batch assembled
+        from the dense arena columns, result objects lazy."""
+        return TrialResult(
+            label,
+            batch=OutcomeBatch.from_dense_and_sides(dense, sides),
+            outcome_thunk=partial(rebuild_outcomes, dense, sides),
+        )

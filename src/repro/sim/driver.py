@@ -168,7 +168,6 @@ class MSPlayerDriver:
         """Process: full proxy bootstrap, or a failover redial to ``server``."""
         env = self.scenario.env
         runtime = self._runtimes[path_id]
-        path = self.session.paths[path_id]
         try:
             if server is not None and runtime.details is not None:
                 # Failover within the network: token and signature stay

@@ -30,6 +30,12 @@ own seed, so parallel results are byte-identical to serial ones for the
 same root seed — whatever the IPC mode.  Select a backend with
 ``TrialRunner(jobs=...)``, ``repro experiment --jobs N``, or the
 ``REPRO_JOBS`` environment variable (``N``, ``auto``, or ``serial``).
+
+The engines are generic over the :class:`WorkSpec` protocol, not tied
+to per-trial specs: a spec kind supplies its own execution, dense arena
+layout, side-channel encoding, and rebuild inverse.  ``TrialSpec`` (one
+player session per unit) and ``repro.ext.population.PopulationSpec``
+(one whole multi-client population per unit) are the two kinds.
 """
 
 from __future__ import annotations
@@ -41,14 +47,31 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import (
+    Callable,
+    ClassVar,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from ..core.config import PlayerConfig
 from ..errors import ConfigError
 from .driver import MSPlayerDriver, SessionOutcome
 from .profiles import NetworkProfile
 from .scenario import Scenario, ScenarioConfig
-from .shm import OutcomeArena, SideRecord, TrialCollection, encode_side, resolve_ipc
+from .shm import (
+    DENSE_COLUMNS,
+    ColumnLayout,
+    OutcomeArena,
+    SideRecord,
+    TrialCollection,
+    encode_side,
+    rebuild_outcomes,
+    resolve_ipc,
+)
 from .singlepath import HTML5_CHUNK, SinglePathDriver
 
 
@@ -131,6 +154,34 @@ class MPTCPLikeSpec:
 # ---------------------------------------------------------------------------
 
 
+class WorkSpec(Protocol):
+    """What any engine executes: a self-contained, picklable work unit.
+
+    Per-trial campaigns use :class:`TrialSpec` (one player session per
+    unit); population campaigns use
+    :class:`~repro.ext.population.PopulationSpec` (one whole
+    multi-client population per unit).  The engine itself is agnostic —
+    a spec kind brings its own execution (:meth:`run`), its own dense
+    arena layout (``dense_columns`` / :meth:`write_dense`), its own
+    side-channel encoding (:meth:`encode_side`), and the inverse that
+    materializes result objects from a columnar collection
+    (:meth:`rebuild`).
+    """
+
+    label: str
+    #: Class-level arena layout shared by every spec of this kind.
+    dense_columns: ColumnLayout
+
+    def run(self): ...
+
+    def write_dense(self, arena: OutcomeArena, row: int, result) -> None: ...
+
+    def encode_side(self, result): ...
+
+    @staticmethod
+    def rebuild(dense: dict, sides: Sequence) -> list: ...
+
+
 @dataclass(frozen=True)
 class TrialSpec:
     """Everything one (configuration, trial) pair needs, self-contained."""
@@ -143,15 +194,35 @@ class TrialSpec:
     scenario_config: ScenarioConfig = field(default_factory=ScenarioConfig)
     scenario_hook: Optional[ScenarioHook] = None
 
+    #: Arena layout for the shm collection path (class-level; see
+    #: :class:`WorkSpec`).
+    dense_columns: ClassVar[ColumnLayout] = DENSE_COLUMNS
+
+    def run(self) -> SessionOutcome:
+        """Execute this trial start to finish (the pool work unit)."""
+        scenario = Scenario(
+            self.profile_factory(), seed=self.seed, config=self.scenario_config
+        )
+        if self.scenario_hook is not None:
+            self.scenario_hook(scenario)
+        return self.driver(scenario).run()
+
+    def write_dense(
+        self, arena: OutcomeArena, row: int, result: SessionOutcome
+    ) -> None:
+        arena.write(row, result)
+
+    def encode_side(self, result: SessionOutcome) -> SideRecord:
+        return encode_side(result)
+
+    @staticmethod
+    def rebuild(dense: dict, sides: Sequence[SideRecord]) -> list[SessionOutcome]:
+        return rebuild_outcomes(dense, sides)
+
 
 def run_trial(spec: TrialSpec) -> SessionOutcome:
-    """Execute one trial start to finish (the process-pool work unit)."""
-    scenario = Scenario(
-        spec.profile_factory(), seed=spec.seed, config=spec.scenario_config
-    )
-    if spec.scenario_hook is not None:
-        spec.scenario_hook(scenario)
-    return spec.driver(scenario).run()
+    """Execute one trial start to finish (kept for direct callers)."""
+    return spec.run()
 
 
 #: Worker-side arena attachment cache, keyed by segment name.  A worker
@@ -161,27 +232,40 @@ def run_trial(spec: TrialSpec) -> SessionOutcome:
 _WORKER_ARENAS: dict[str, OutcomeArena] = {}
 
 
-def _attached_arena(name: str, rows: int) -> OutcomeArena:
+def _attached_arena(name: str, rows: int, columns: ColumnLayout) -> OutcomeArena:
     arena = _WORKER_ARENAS.get(name)
     if arena is None:
         for stale in _WORKER_ARENAS.values():
             stale.close()
         _WORKER_ARENAS.clear()
-        arena = OutcomeArena.attach(name, rows)
+        arena = OutcomeArena.attach(name, rows, columns)
         _WORKER_ARENAS[name] = arena
     return arena
+
+
+def run_unit(spec: WorkSpec):
+    """Execute one work unit (the pickle-path pool entry point)."""
+    return spec.run()
+
+
+def run_unit_into_arena(arena_name: str, rows: int, item: tuple[int, WorkSpec]):
+    """The shm-path work unit: run the spec, store its dense scalars
+    at its row of the shared arena (whose layout the spec kind
+    declares), return only the ragged/string remainder through the
+    pool pipe."""
+    index, spec = item
+    result = spec.run()
+    arena = _attached_arena(arena_name, rows, spec.dense_columns)
+    spec.write_dense(arena, index, result)
+    return spec.encode_side(result)
 
 
 def run_trial_into_arena(
     arena_name: str, rows: int, item: tuple[int, TrialSpec]
 ) -> SideRecord:
-    """The shm-path work unit: run the trial, store its dense scalars
-    at its row of the shared arena, return only the ragged/string
-    remainder through the pool pipe."""
-    index, spec = item
-    outcome = run_trial(spec)
-    _attached_arena(arena_name, rows).write(index, outcome)
-    return encode_side(outcome)
+    """Kept for direct callers; :func:`run_unit_into_arena` is the
+    engine's generic entry point."""
+    return run_unit_into_arena(arena_name, rows, item)
 
 
 # ---------------------------------------------------------------------------
@@ -190,22 +274,22 @@ def run_trial_into_arena(
 
 
 class ExecutionEngine(Protocol):
-    """Maps trial specs to outcomes, preserving spec order."""
+    """Maps work specs to their results, preserving spec order."""
 
     name: str
     jobs: int
 
-    def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]: ...
+    def map(self, specs: Sequence[WorkSpec]) -> list: ...
 
 
 class SerialEngine:
-    """Run every trial in-process, one after another."""
+    """Run every work unit in-process, one after another."""
 
     name = "serial"
     jobs = 1
 
-    def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]:
-        return [run_trial(spec) for spec in specs]
+    def map(self, specs: Sequence[WorkSpec]) -> list:
+        return [spec.run() for spec in specs]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialEngine()"
@@ -269,25 +353,25 @@ class ProcessEngine:
         #: pool pipe).  ``None`` consults ``REPRO_IPC``.
         self.ipc = resolve_ipc(ipc)
 
-    def map(self, specs: Sequence[TrialSpec]) -> list[SessionOutcome]:
+    def map(self, specs: Sequence[WorkSpec]) -> list:
         return self.collect(specs).outcomes
 
-    def collect(self, specs: Sequence[TrialSpec]) -> TrialCollection:
+    def collect(self, specs: Sequence[WorkSpec]) -> TrialCollection:
         """Run the batch; on the shm path, return it columnar.
 
-        The campaign layer assembles each label's ``OutcomeBatch``
-        straight from a columnar collection's dense arrays; outcome
-        objects materialize lazily if something walks them.
+        The campaign layer assembles each label's batch straight from
+        a columnar collection's dense arrays; result objects
+        materialize lazily if something walks them.
         """
         specs = list(specs)
         if len(specs) <= 1 or self.jobs == 1:
-            return TrialCollection(outcomes=[run_trial(spec) for spec in specs])
+            return TrialCollection(outcomes=[spec.run() for spec in specs])
         # A configuration is homogeneous (one driver spec, one hook, one
         # profile factory), but a *campaign* batch interleaves several
         # configurations — so probe one representative per label, which
         # still decides for all at ~configs/len(specs) of the full
         # serialization cost.
-        probes: dict[str, TrialSpec] = {}
+        probes: dict[str, WorkSpec] = {}
         for spec in specs:
             probes.setdefault(spec.label, spec)
         for probe in probes.values():
@@ -296,7 +380,7 @@ class ProcessEngine:
             except Exception as exc:
                 if self.fallback_to_serial:
                     return TrialCollection(
-                        outcomes=[run_trial(spec) for spec in specs]
+                        outcomes=[spec.run() for spec in specs]
                     )
                 raise ConfigError(
                     f"trial specs for {probe.label!r} are not picklable ({exc}); "
@@ -309,23 +393,34 @@ class ProcessEngine:
         chunksize = max(1, -(-len(specs) // (active * 4)))
         if self.ipc == "pickle":
             return TrialCollection(
-                outcomes=self._pool_map(run_trial, specs, chunksize)
+                outcomes=self._pool_map(run_unit, specs, chunksize)
             )
-        # shm path: the parent sizes the arena from the spec count, the
-        # workers write dense rows in place, and only the side records
-        # come back through the pipe.  The arena is destroyed (closed +
-        # unlinked) in the ``finally`` whatever happens — including a
-        # BrokenProcessPool that survives _pool_map's fresh-pool retry —
-        # so worker crashes cannot leak /dev/shm segments.  The retry
-        # itself reuses the arena: every row is rewritten.
-        arena = OutcomeArena.create(len(specs))
+        # shm path: the parent sizes the arena from the spec count (and
+        # the spec kind's column layout), the workers write dense rows
+        # in place, and only the side records come back through the
+        # pipe.  The arena is destroyed (closed + unlinked) in the
+        # ``finally`` whatever happens — including a BrokenProcessPool
+        # that survives _pool_map's fresh-pool retry — so worker
+        # crashes cannot leak /dev/shm segments.  The retry itself
+        # reuses the arena: every row is rewritten.
+        # Instance access on purpose: the WorkSpec protocol only
+        # promises the attribute is readable on instances (the built-in
+        # kinds declare it as a ClassVar, but a conforming third-party
+        # spec may carry it per instance).
+        columns = specs[0].dense_columns
+        if any(spec.dense_columns != columns for spec in specs):
+            raise ConfigError(
+                "a collected batch must share one dense column layout; "
+                "run heterogeneous spec kinds as separate campaigns"
+            )
+        arena = OutcomeArena.create(len(specs), columns)
         try:
-            work = partial(run_trial_into_arena, arena.name, len(specs))
+            work = partial(run_unit_into_arena, arena.name, len(specs))
             sides = self._pool_map(work, list(enumerate(specs)), chunksize)
             dense = arena.read_columns()
         finally:
             arena.destroy()
-        return TrialCollection(dense=dense, sides=sides)
+        return TrialCollection(dense=dense, sides=sides, rebuild=specs[0].rebuild)
 
     def _pool_map(self, fn, items: list, chunksize: int) -> list:
         # The pool is sized (and keyed) by self.jobs, not the batch:

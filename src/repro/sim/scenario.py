@@ -47,7 +47,9 @@ class ScenarioConfig:
 class Scenario:
     """One fully wired simulated world."""
 
-    def __init__(self, profile: NetworkProfile, seed: int, config: ScenarioConfig | None = None) -> None:
+    def __init__(
+        self, profile: NetworkProfile, seed: int, config: ScenarioConfig | None = None
+    ) -> None:
         self.profile = profile
         self.config = config or ScenarioConfig()
         self.rng_factory = RngFactory(seed)

@@ -29,6 +29,13 @@ row plus its side record (:func:`rebuild_outcome`); consumers that walk
 outcome objects (EXP-X2's ``server_bytes`` accounting) get them lazily,
 while the analytics path never materializes them at all.
 
+The arena itself is layout-agnostic: ``create``/``attach`` take an
+ordered :data:`ColumnLayout` (``DENSE_COLUMNS`` by default), so other
+campaign kinds reuse the same transport with their own dense scalars —
+population campaigns (:mod:`repro.ext.population`) store per-population
+aggregates per row and ship per-client remainders as their own side
+records.
+
 Cleanup protocol: the parent owns the arena — ``create`` → workers
 ``attach`` (and immediately deregister the segment from their resource
 tracker; the parent's registration is the tracked one) → parent copies
@@ -49,7 +56,7 @@ from __future__ import annotations
 
 import os
 from multiprocessing import resource_tracker, shared_memory
-from typing import NamedTuple, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +66,7 @@ from .driver import SessionOutcome
 
 __all__ = [
     "ARENA_PREFIX",
+    "ColumnLayout",
     "DENSE_COLUMNS",
     "OutcomeArena",
     "SideRecord",
@@ -74,17 +82,24 @@ __all__ = [
 #: an operator staring at /dev/shm) can attribute segments to us.
 ARENA_PREFIX = "repro-arena-"
 
-#: The arena's dense layout: (column name, dtype), column-major in this
-#: order.  These are exactly the scalar-per-trial columns of
+#: A dense arena layout: ordered (column name, dtype) pairs.  The layout
+#: is a *parameter* of :class:`OutcomeArena` — per-trial campaigns use
+#: :data:`DENSE_COLUMNS`, population campaigns bring their own
+#: per-population layout (``repro.ext.population.POPULATION_COLUMNS``).
+ColumnLayout = tuple[tuple[str, type], ...]
+
+#: The per-trial layout: exactly the scalar-per-trial columns of
 #: ``OutcomeBatch``; everything else is side-channel data.
-DENSE_COLUMNS: tuple[tuple[str, type], ...] = (
+DENSE_COLUMNS: ColumnLayout = (
     ("startup", np.float64),
     ("finished_at", np.float64),
     ("total_stall", np.float64),
     ("failovers", np.int64),
 )
 
-_ROW_BYTES = sum(np.dtype(dtype).itemsize for _name, dtype in DENSE_COLUMNS)
+
+def _row_bytes(columns: ColumnLayout) -> int:
+    return sum(np.dtype(dtype).itemsize for _name, dtype in columns)
 
 
 def resolve_ipc(ipc: Optional[str] = None) -> str:
@@ -109,25 +124,30 @@ def resolve_ipc(ipc: Optional[str] = None) -> str:
 
 
 class OutcomeArena:
-    """Dense per-trial scalar columns in one shared-memory block.
+    """Dense per-work-unit scalar columns in one shared-memory block.
 
-    Column-major layout (``DENSE_COLUMNS`` order): column ``c`` of a
-    ``rows``-trial arena occupies bytes ``[c * rows * 8, (c+1) * rows * 8)``.
-    The parent creates it sized from the campaign's spec count; each
-    worker attaches once per campaign and writes its trials' rows in
-    place.  Rows are disjoint per trial, so concurrent writers never
-    touch the same bytes.
+    Column-major layout (``columns`` order, :data:`DENSE_COLUMNS` by
+    default): column ``c`` of a ``rows``-unit arena occupies bytes
+    ``[c * rows * 8, (c+1) * rows * 8)``.  The parent creates it sized
+    from the campaign's spec count; each worker attaches once per
+    campaign and writes its units' rows in place.  Rows are disjoint
+    per unit, so concurrent writers never touch the same bytes.
     """
 
     def __init__(
-        self, shm: shared_memory.SharedMemory, rows: int, owner: bool
+        self,
+        shm: shared_memory.SharedMemory,
+        rows: int,
+        owner: bool,
+        columns: ColumnLayout = DENSE_COLUMNS,
     ) -> None:
         self._shm = shm
         self.rows = rows
+        self.columns = columns
         self._owner = owner
         self._views: dict[str, np.ndarray] = {}
         offset = 0
-        for name, dtype in DENSE_COLUMNS:
+        for name, dtype in columns:
             self._views[name] = np.ndarray(
                 (rows,), dtype=dtype, buffer=shm.buf, offset=offset
             )
@@ -139,19 +159,21 @@ class OutcomeArena:
         return self._shm.name
 
     @classmethod
-    def create(cls, rows: int) -> "OutcomeArena":
-        """Parent side: allocate a fresh arena for ``rows`` trials."""
-        size = max(1, rows * _ROW_BYTES)  # zero-byte segments are invalid
+    def create(cls, rows: int, columns: ColumnLayout = DENSE_COLUMNS) -> "OutcomeArena":
+        """Parent side: allocate a fresh arena for ``rows`` work units."""
+        size = max(1, rows * _row_bytes(columns))  # zero-byte segments are invalid
         while True:
             name = ARENA_PREFIX + os.urandom(8).hex()
             try:
                 shm = shared_memory.SharedMemory(name=name, create=True, size=size)
             except FileExistsError:  # pragma: no cover - 64-bit collision
                 continue
-            return cls(shm, rows, owner=True)
+            return cls(shm, rows, owner=True, columns=columns)
 
     @classmethod
-    def attach(cls, name: str, rows: int) -> "OutcomeArena":
+    def attach(
+        cls, name: str, rows: int, columns: ColumnLayout = DENSE_COLUMNS
+    ) -> "OutcomeArena":
         """Worker side: map an existing arena by name, untracked.
 
         CPython (< 3.13) registers a segment with the resource tracker
@@ -175,16 +197,25 @@ class OutcomeArena:
                 shm = shared_memory.SharedMemory(name=name)
             finally:
                 resource_tracker.register = original
-        return cls(shm, rows, owner=False)
+        return cls(shm, rows, owner=False, columns=columns)
 
     def write(self, row: int, outcome: SessionOutcome) -> None:
-        """Store one trial's dense scalars at its row index."""
+        """Store one trial's dense scalars at its row index.
+
+        The :data:`DENSE_COLUMNS` convenience; arenas with other
+        layouts store through :meth:`write_row`.
+        """
         metrics = outcome.metrics
         delay = outcome.startup_delay
         self._views["startup"][row] = np.nan if delay is None else delay
         self._views["finished_at"][row] = outcome.finished_at
         self._views["total_stall"][row] = metrics.total_stall_time
         self._views["failovers"][row] = metrics.failovers
+
+    def write_row(self, row: int, values: dict[str, float]) -> None:
+        """Store one work unit's dense scalars, one value per column."""
+        for name, _dtype in self.columns:
+            self._views[name][row] = values[name]
 
     def read_columns(self) -> dict[str, np.ndarray]:
         """Copy the columns out of the segment (the arena can then die)."""
@@ -352,20 +383,23 @@ def rebuild_outcomes(
 
 
 class TrialCollection:
-    """An engine's collected trials: outcome objects, maybe columnar.
+    """An engine's collected work units: result objects, maybe columnar.
 
     The pickle/serial paths carry ``outcomes`` only.  The shm path
     carries ``dense`` (arena column copies, spec order) and ``sides``
-    (side records, spec order) and materializes outcome objects lazily
-    — the campaign's analytics path assembles ``OutcomeBatch`` straight
-    from the columns and never pays for the object graph.
+    (side records, spec order) and materializes result objects lazily
+    — the campaign's analytics path assembles its batch straight from
+    the columns and never pays for the object graph.  ``rebuild`` is
+    the spec kind's ``(dense, sides) -> results`` inverse; the default
+    rebuilds per-trial ``SessionOutcome``s.
     """
 
     def __init__(
         self,
-        outcomes: Optional[list[SessionOutcome]] = None,
+        outcomes: Optional[list] = None,
         dense: Optional[dict[str, np.ndarray]] = None,
-        sides: Optional[Sequence[SideRecord]] = None,
+        sides: Optional[Sequence] = None,
+        rebuild: Optional[Callable[[dict, Sequence], list]] = None,
     ) -> None:
         if outcomes is None and (dense is None or sides is None):
             raise ConfigError(
@@ -374,6 +408,7 @@ class TrialCollection:
         self._outcomes = outcomes
         self.dense = dense
         self.sides = list(sides) if sides is not None else None
+        self._rebuild = rebuild if rebuild is not None else rebuild_outcomes
 
     @property
     def columnar(self) -> bool:
@@ -385,9 +420,9 @@ class TrialCollection:
         return len(self.sides)
 
     @property
-    def outcomes(self) -> list[SessionOutcome]:
+    def outcomes(self) -> list:
         if self._outcomes is None:
-            self._outcomes = rebuild_outcomes(self.dense, self.sides)
+            self._outcomes = self._rebuild(self.dense, self.sides)
         return self._outcomes
 
 

@@ -153,7 +153,6 @@ class SinglePathDriver:
 
     def _prebuffer(self):
         """One large range covering the pre-buffer amount (§6)."""
-        env = self.scenario.env
         amount = min(
             int(self.config.prebuffer_s * self._bitrate), self._total_bytes
         )

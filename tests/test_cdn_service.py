@@ -165,7 +165,6 @@ class TestWebProxy:
 
 class TestJsonApi:
     def test_parse_rejects_wrong_schema(self, world):
-        info = video_info(world)
         payload = {"schema": 999}
         with pytest.raises(CDNError):
             parse_video_info(payload)
@@ -213,8 +212,7 @@ class TestVideoServer:
         assert response.body_size == info.stream(22).size_bytes
 
     def test_missing_token_401(self, world):
-        info = video_info(world)
-        request = Request.get(f"/videoplayback?v=plainVIDEO1&itag=22&sig=x", host="v")
+        request = Request.get("/videoplayback?v=plainVIDEO1&itag=22&sig=x", host="v")
         assert world["video"](request, "wifi-net").status == 401
 
     def test_expired_token_403(self, world):

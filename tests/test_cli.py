@@ -25,6 +25,12 @@ class TestParser:
             args = build_parser().parse_args(["experiment", key])
             assert args.id == key
 
+    def test_population_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["experiment", "x6", "--replicates", "4", "--clients", "20"]
+        )
+        assert args.replicates == 4 and args.clients == 20
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -58,6 +64,31 @@ class TestCommands:
     def test_experiment_x3(self, capsys):
         assert main(["experiment", "x3"]) == 0
         assert "harmonic" in capsys.readouterr().out
+
+    def test_experiment_x6_population(self, capsys):
+        code = main(
+            ["experiment", "x6", "--replicates", "1", "--clients", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "EXP-X6" in output and "rotate" in output
+
+    def test_population_knobs_rejected_elsewhere(self, capsys):
+        code = main(["experiment", "fig2", "--replicates", "2"])
+        assert code == 2
+        assert "--replicates" in capsys.readouterr().err
+
+    def test_trials_knob_rejected_on_population_experiment(self, capsys):
+        code = main(["experiment", "x6", "--trials", "50"])
+        assert code == 2
+        assert "--trials" in capsys.readouterr().err
+
+    def test_invalid_population_counts_fail_cleanly(self, capsys):
+        # A one-line error + exit 2, not a ConfigError traceback.
+        for flag in ("--replicates", "--clients"):
+            code = main(["experiment", "x6", flag, "0"])
+            assert code == 2
+            assert ">= 1" in capsys.readouterr().err
 
     def test_experiment_fig2_few_trials(self, capsys):
         assert main(["experiment", "fig2", "--trials", "3"]) == 0

@@ -95,7 +95,6 @@ class TestFailure:
         ledger.assign(0, 300)
         ledger.assign(1, 300)
         ledger.fail_assignment(0)  # [0,300) back to the queue
-        replacement = ledger.assign(1, 500) if False else None
         # Path 1 still has its chunk in flight; path 0 redials and gets
         # the requeued range (possibly split to its chunk size).
         assignment = ledger.assign(0, 200)

@@ -23,6 +23,7 @@ from repro.analysis.experiments import (
     table1_traffic_fraction,
     x1_robustness,
     x2_source_diversity,
+    x6_population,
 )
 from repro.sim.execution import ProcessEngine
 from repro.units import KB
@@ -107,4 +108,17 @@ class TestPaperScaleSweeps:
         reference = x2_source_diversity(trials=10, jobs="serial")
         _assert_experiments_identical(
             x2_source_diversity(trials=10, jobs=make_jobs()), reference
+        )
+
+    @pytest.mark.parametrize("make_jobs", PARALLEL_BACKENDS)
+    def test_x6_population_sweep_matches_serial(self, make_jobs):
+        """The population campaign at flash-crowd scale: whole
+        multi-client populations as work units, per-policy batches
+        assembled from the population arena columns on the shm path.
+        The rendered panel and raw dict come entirely off the batch,
+        so equality here is batch-level bit equality."""
+        kwargs = dict(replicates=10, clients=12)
+        reference = x6_population(jobs="serial", **kwargs)
+        _assert_experiments_identical(
+            x6_population(jobs=make_jobs(), **kwargs), reference
         )

@@ -11,7 +11,11 @@ class TestHierarchy:
     def test_everything_is_reproerror(self):
         for name in dir(errors):
             obj = getattr(errors, name)
-            if isinstance(obj, type) and issubclass(obj, Exception) and obj.__module__ == "repro.errors":
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj.__module__ == "repro.errors"
+            ):
                 if obj in (errors.ReproError,):
                     continue
                 assert issubclass(obj, errors.ReproError), name

@@ -15,7 +15,9 @@ from repro.ext.energy import (
 def metrics_with(path_bytes: dict[int, int], active: dict[int, float], cycles: int = 0):
     metrics = QoEMetrics()
     for path_id, num_bytes in path_bytes.items():
-        metrics.record_chunk(path_id, num_bytes, prebuffering=True, duration=active.get(path_id, 0.0))
+        metrics.record_chunk(
+            path_id, num_bytes, prebuffering=True, duration=active.get(path_id, 0.0)
+        )
     for i in range(cycles):
         metrics.begin_rebuffer_cycle(10.0 * i, 9.0)
         metrics.end_rebuffer_cycle(10.0 * i + 3.0)

@@ -61,3 +61,35 @@ class TestMultiClient:
         from repro.ext.multi_client import MultiClientResult
 
         assert MultiClientResult(policy="x").load_imbalance == 0.0
+
+
+class TestCompare:
+    """``compare`` rides the population campaign layer."""
+
+    def test_returns_population_results_per_policy(self):
+        from repro.ext.population import PopulationResult
+
+        experiment = MultiClientExperiment(
+            testbed_profile, client_count=2, video_duration_s=60.0, seed=5
+        )
+        results = experiment.compare(("static", "rotate"), replicates=2)
+        assert list(results) == ["static", "rotate"]
+        for result in results.values():
+            assert isinstance(result, PopulationResult)
+            assert len(result) == 2
+            assert len(result.startup_delays()) == 4  # 2 replicates x 2 clients
+
+    def test_single_replicate_matches_direct_run_distribution(self):
+        """One replicate of ``compare`` is one seeded ``run`` — same
+        machinery, derived seed."""
+        experiment = MultiClientExperiment(
+            testbed_profile, client_count=2, video_duration_s=60.0, seed=5
+        )
+        compared = experiment.compare(("rotate",), replicates=1)["rotate"]
+        direct = MultiClientExperiment(
+            testbed_profile,
+            client_count=2,
+            video_duration_s=60.0,
+            seed=experiment.replicate_seed(0),
+        ).run("rotate")
+        assert compared.results == [direct]

@@ -1,0 +1,217 @@
+"""Population campaigns: whole populations as parallel work units.
+
+The acceptance bar mirrors the trial campaigns': a population campaign
+must produce bit-identical per-policy batches — and equal rebuilt
+result objects — across serial, process-pickle, and process-shm
+collection for a fixed root seed.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import x6_population
+from repro.errors import ConfigError
+from repro.ext.multi_client import MultiClientExperiment, MultiClientResult
+from repro.ext.population import (
+    POPULATION_COLUMNS,
+    PopulationBatch,
+    PopulationCampaign,
+    PopulationResult,
+    population_dense_row,
+)
+from repro.sim.execution import ProcessEngine
+from repro.sim.profiles import testbed_profile
+from repro.sim.shm import OutcomeArena
+
+#: Every collection path a population campaign can run on (factories —
+#: each test gets a fresh engine).
+BACKENDS = [
+    pytest.param(lambda: "auto", id="auto"),
+    pytest.param(lambda: ProcessEngine(2, ipc="pickle"), id="process-pickle"),
+    pytest.param(lambda: ProcessEngine(2, ipc="shm"), id="process-shm"),
+]
+
+
+def small_experiment(seed: int = 5) -> MultiClientExperiment:
+    return MultiClientExperiment(
+        testbed_profile, client_count=2, video_duration_s=60.0, seed=seed
+    )
+
+
+class TestPopulationSpec:
+    def test_specs_are_picklable(self):
+        specs = small_experiment().specs_for("rotate", 3)
+        assert [s.trial for s in pickle.loads(pickle.dumps(specs))] == [0, 1, 2]
+
+    def test_replicate_seeds_are_policy_independent(self):
+        experiment = small_experiment()
+        static = experiment.specs_for("static", 2)
+        rotate = experiment.specs_for("rotate", 2)
+        assert [s.seed for s in static] == [s.seed for s in rotate]
+        assert static[0].seed != static[1].seed
+
+    def test_run_reproducible(self):
+        spec = small_experiment().specs_for("rotate", 1)[0]
+        a, b = spec.run(), spec.run()
+        assert a == b
+        assert isinstance(a, MultiClientResult)
+
+    def test_side_record_rebuilds_exactly(self):
+        spec = small_experiment().specs_for("static", 1)[0]
+        result = spec.run()
+        side = spec.encode_side(result)
+        assert side.rebuild() == result
+
+    def test_dense_row_through_arena_round_trips(self):
+        spec = small_experiment().specs_for("rotate", 1)[0]
+        result = spec.run()
+        row = population_dense_row(result)
+        arena = OutcomeArena.create(1, POPULATION_COLUMNS)
+        try:
+            spec.write_dense(arena, 0, result)
+            dense = arena.read_columns()
+        finally:
+            arena.destroy()
+        for name, _dtype in POPULATION_COLUMNS:
+            assert dense[name][0] == row[name], name
+
+
+class TestPopulationBatch:
+    @pytest.fixture(scope="class")
+    def results(self) -> list[MultiClientResult]:
+        specs = small_experiment().specs_for("rotate", 3)
+        return [spec.run() for spec in specs]
+
+    def test_columns_match_per_result_rows(self, results):
+        batch = PopulationBatch.from_results(results)
+        assert len(batch) == 3
+        for i, result in enumerate(results):
+            row = population_dense_row(result)
+            for name, _dtype in POPULATION_COLUMNS:
+                assert getattr(batch, name)[i] == row[name], name
+
+    def test_client_csr_layout(self, results):
+        batch = PopulationBatch.from_results(results)
+        expected: list[float] = []
+        for i, result in enumerate(results):
+            delays = result.startup_delays()
+            start, end = batch.client_offsets[i], batch.client_offsets[i + 1]
+            assert batch.client_startup[start:end].tolist() == delays
+            expected.extend(delays)
+        assert batch.startup_delays().tolist() == expected
+
+    def test_assembly_paths_agree_bitwise(self, results):
+        specs = small_experiment().specs_for("rotate", 3)
+        sides = [spec.encode_side(result) for spec, result in zip(specs, results)]
+        rows = [population_dense_row(result) for result in results]
+        dense = {
+            name: np.asarray([row[name] for row in rows], dtype=dtype)
+            for name, dtype in POPULATION_COLUMNS
+        }
+        rebuilt = PopulationBatch.from_dense_and_sides(dense, sides)
+        assert PopulationBatch.from_results(results).column_mismatches(rebuilt) == []
+
+    def test_column_mismatches_flags_diverged_column(self, results):
+        batch = PopulationBatch.from_results(results)
+        other = PopulationBatch.from_results(results)
+        assert batch.column_mismatches(other) == []
+        other.load_imbalance[0] += 1.0
+        assert batch.column_mismatches(other) == ["load_imbalance"]
+
+    def test_empty_batch(self):
+        batch = PopulationBatch.from_results([])
+        assert len(batch) == 0
+        assert batch.client_offsets.tolist() == [0]
+
+    def test_dense_row_of_empty_population_is_nan(self):
+        result = MultiClientResult(policy="x")
+        row = population_dense_row(result)
+        assert np.isnan(row["mean_startup"]) and np.isnan(row["p95_startup"])
+        assert row["completed"] == 0 and row["total_server_bytes"] == 0
+
+
+class TestPopulationResult:
+    def test_batch_only_result_rejected(self):
+        batch = PopulationBatch.from_results([])
+        with pytest.raises(ConfigError, match="result source"):
+            PopulationResult("orphan", batch=batch)
+
+    def test_policy_aliases_label(self):
+        assert PopulationResult("rotate", results=[]).policy == "rotate"
+
+
+class TestPopulationCampaignDeterminism:
+    """Serial / process-pickle / process-shm: the same bits per policy."""
+
+    POLICIES = ("static", "rotate")
+
+    @pytest.fixture(scope="class")
+    def serial(self) -> dict[str, PopulationResult]:
+        return small_experiment().compare(self.POLICIES, replicates=2, jobs="serial")
+
+    @pytest.mark.parametrize("make_jobs", BACKENDS)
+    def test_matches_serial(self, serial, make_jobs):
+        got = small_experiment().compare(
+            self.POLICIES, replicates=2, jobs=make_jobs()
+        )
+        assert list(got) == list(self.POLICIES)
+        for policy in self.POLICIES:
+            assert got[policy].batch.column_mismatches(serial[policy].batch) == []
+            assert got[policy].startup_delays() == serial[policy].startup_delays()
+            # Materializing the lazy shm-path results must rebuild the
+            # exact objects the serial path produced.
+            assert got[policy].results == serial[policy].results
+
+    def test_interleaves_policies(self):
+        experiment = small_experiment()
+        campaign = PopulationCampaign(jobs="serial")
+        for policy in self.POLICIES:
+            campaign.add(experiment.specs_for(policy, 2))
+        assert len(campaign) == 4
+        assert campaign.labels == list(self.POLICIES)
+
+
+class TestLoadImbalanceEdgeCases:
+    """The max/mean ratio under degenerate server-byte maps."""
+
+    def test_idle_servers_count_toward_imbalance(self):
+        # An unused replica is exactly the imbalance the selection
+        # policy should prevent: 2 servers, one starved -> max/mean 2.
+        result = MultiClientResult(policy="x", server_bytes={"a": 100, "b": 0})
+        assert result.load_imbalance == pytest.approx(2.0)
+
+    def test_all_zero_bytes_is_zero(self):
+        result = MultiClientResult(policy="x", server_bytes={"a": 0, "b": 0})
+        assert result.load_imbalance == 0.0
+
+    def test_no_servers_is_zero(self):
+        assert MultiClientResult(policy="x").load_imbalance == 0.0
+
+    def test_single_server_is_perfectly_even(self):
+        result = MultiClientResult(policy="x", server_bytes={"only": 512})
+        assert result.load_imbalance == 1.0
+
+    def test_even_split_is_one(self):
+        result = MultiClientResult(
+            policy="x", server_bytes={"a": 300, "b": 300, "c": 300}
+        )
+        assert result.load_imbalance == 1.0
+
+
+class TestX6Shape:
+    """A fast x6-shaped population pass stays in tier-1."""
+
+    def test_x6_population_smoke(self):
+        result = x6_population(replicates=1, clients=6, jobs="serial")
+        assert result.experiment_id == "x6"
+        raw = result.raw
+        # Static selection starves replicas; rotation spreads the load.
+        assert raw["static"]["imbalance_mean"] > 2.0
+        assert raw["rotate"]["imbalance_mean"] < raw["static"]["imbalance_mean"]
+        for policy in raw:
+            assert raw[policy]["completed"] == raw[policy]["sessions"], policy
+        assert "EXP-X6" in result.rendered

@@ -188,7 +188,7 @@ class TestOverloadModel:
         p2 = env.process(two(env))
         env.run(p1 & p2)
 
-        env2_world = World(Environment := type(env)(), overload_threshold=None)
+        env2_world = World(type(env)(), overload_threshold=None)
         _, solo_timing = env2_world.get("/big")
         # Overloaded completions are strictly slower than a solo run
         # (sharing alone would double it; the penalty adds more).

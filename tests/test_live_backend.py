@@ -32,10 +32,8 @@ class TestTokenBucket:
         # Simulated clock: drain 10 kB through a 1 kB/s bucket.
         clock_value = [0.0]
         bucket = TokenBucket(rate=1000.0, burst=100.0, clock=lambda: clock_value[0])
-        total_wait = 0.0
         for _ in range(100):
             wait = bucket.try_take(100.0)
-            total_wait += wait
             clock_value[0] += wait
         assert clock_value[0] == pytest.approx(10_000 / 1000.0, rel=0.05)
 

@@ -87,7 +87,9 @@ def outcomes(draw) -> SessionOutcome:
         path_json_delay=draw(st.dictionaries(path_ids, times, max_size=2)),
         path_first_video_delay=draw(st.dictionaries(path_ids, times, max_size=2)),
         server_bytes=draw(
-            st.dictionaries(st.sampled_from(["v1.cdn", "v2.cdn", "v3.cdn"]), byte_counts, max_size=3)
+            st.dictionaries(
+                st.sampled_from(["v1.cdn", "v2.cdn", "v3.cdn"]), byte_counts, max_size=3
+            )
         ),
         requests_by_path=draw(st.dictionaries(path_ids, st.integers(0, 1000), max_size=4)),
     )

@@ -68,7 +68,9 @@ class TestScenario:
         assert wifi != lte
 
     def test_video_in_catalog(self):
-        scenario = Scenario(testbed_profile(), seed=1, config=ScenarioConfig(video_id="abcdefghijk"))
+        scenario = Scenario(
+            testbed_profile(), seed=1, config=ScenarioConfig(video_id="abcdefghijk")
+        )
         assert "abcdefghijk" in scenario.catalog
 
     def test_iface_for_order(self):
