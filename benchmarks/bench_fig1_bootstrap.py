@@ -7,13 +7,11 @@ for θ ∈ {1.5, 2, 2.5, 3}.
 """
 
 import pytest
-from conftest import run_once
-
-from repro.analysis.experiments import fig1_bootstrap_timing
+from conftest import jobs, run_study
 
 
 def test_fig1_bootstrap_milestones(benchmark, record_result):
-    result = run_once(benchmark, fig1_bootstrap_timing)
+    result = run_study(benchmark, "fig1", jobs=jobs())
     record_result("fig1", result.rendered)
 
     for theta_label, data in result.raw.items():
@@ -32,7 +30,7 @@ def test_fig1_bootstrap_milestones(benchmark, record_result):
 
 
 def test_fig1_head_start_grows_with_theta(benchmark, record_result):
-    result = run_once(benchmark, fig1_bootstrap_timing)
+    result = run_study(benchmark, "fig1", jobs=jobs())
     head_starts = [data["measured"]["head_start"] for data in result.raw.values()]
     assert head_starts == sorted(head_starts)
     record_result("fig1_theta_scan", result.rendered)

@@ -6,13 +6,11 @@ vs 10.9 s for the best single path (WiFi), a 37 % reduction; LTE worse
 than WiFi.  We assert the ordering and a ≥ 25 % reduction.
 """
 
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import fig2_prebuffer_testbed
+from conftest import jobs, run_study, trials
 
 
 def test_fig2_prebuffer_testbed(benchmark, record_result):
-    result = run_once(benchmark, fig2_prebuffer_testbed, trials=trials(), jobs=jobs())
+    result = run_study(benchmark, "fig2", trials=trials(), jobs=jobs())
     record_result("fig2", result.rendered)
 
     medians = result.raw["medians"]

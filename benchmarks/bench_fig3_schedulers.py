@@ -18,10 +18,7 @@ We assert instead the robust form: Ratio's worst cell is far worse than
 the dynamic schedulers' worst cell.
 """
 
-import numpy as np
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import fig3_scheduler_sweep
+from conftest import jobs, run_study, trials
 from repro.units import KB, MB, format_size
 
 CHUNKS = (16 * KB, 64 * KB, 256 * KB, 1 * MB)
@@ -29,7 +26,7 @@ PREBUFFERS = (20.0, 40.0, 60.0)
 
 
 def test_fig3_scheduler_sweep(benchmark, record_result):
-    result = run_once(benchmark, fig3_scheduler_sweep, trials=trials(), jobs=jobs())
+    result = run_study(benchmark, "fig3", trials=trials(), jobs=jobs())
     record_result("fig3", result.rendered)
     raw = result.raw
 
@@ -79,9 +76,9 @@ def test_fig3_scheduler_sweep(benchmark, record_result):
 def test_fig3_harmonic_256k_matches_1mb(benchmark, record_result):
     """§5.2: harmonic at 256 KB performs close to 1 MB — the reason the
     paper defaults to 256 KB (smaller bursts)."""
-    result = run_once(
+    result = run_study(
         benchmark,
-        fig3_scheduler_sweep,
+        "fig3",
         trials=trials(),
         jobs=jobs(),
         prebuffers=(40.0,),

@@ -7,13 +7,11 @@ assert MSPlayer wins at every duration, that the reduction at 60 s is
 substantial (≥ 15 %), and that it exceeds the 20 s reduction.
 """
 
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import fig4_prebuffer_youtube
+from conftest import jobs, run_study, trials
 
 
 def test_fig4_prebuffer_youtube(benchmark, record_result):
-    result = run_once(benchmark, fig4_prebuffer_youtube, trials=trials(), jobs=jobs())
+    result = run_study(benchmark, "fig4", trials=trials(), jobs=jobs())
     record_result("fig4", result.rendered)
     raw = result.raw
 

@@ -6,13 +6,11 @@ Claims: larger chunks refill faster (fewer request round trips);
 MSPlayer refills fastest everywhere.
 """
 
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import fig5_rebuffer
+from conftest import jobs, run_study, trials
 
 
 def test_fig5_rebuffer(benchmark, record_result):
-    result = run_once(benchmark, fig5_rebuffer, trials=max(trials() // 2, 4), jobs=jobs())
+    result = run_study(benchmark, "fig5", trials=max(trials() // 2, 4), jobs=jobs())
     record_result("fig5", result.rendered)
     raw = result.raw
 
@@ -29,7 +27,7 @@ def test_fig5_rebuffer(benchmark, record_result):
 
 
 def test_fig5_refill_scales_with_amount(benchmark, record_result):
-    result = run_once(benchmark, fig5_rebuffer, trials=4, jobs=jobs())
+    result = run_study(benchmark, "fig5", trials=4, jobs=jobs())
     raw = result.raw
     # Refilling more video takes longer, for every player.
     for player in ("WiFi 256KB", "LTE 256KB", "MSPlayer"):

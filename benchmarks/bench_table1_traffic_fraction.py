@@ -11,13 +11,11 @@ The load-bearing claims: WiFi (the fast path, θ ≈ 2–3) carries the
 the shares stay in a 50–80 % band rather than saturating to 100 %.
 """
 
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import table1_traffic_fraction
+from conftest import jobs, run_study, trials
 
 
 def test_table1_traffic_fraction(benchmark, record_result):
-    result = run_once(benchmark, table1_traffic_fraction, trials=trials(), jobs=jobs())
+    result = run_study(benchmark, "table1", trials=trials(), jobs=jobs())
     record_result("table1", result.rendered)
     raw = result.raw
 

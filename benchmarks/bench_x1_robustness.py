@@ -10,13 +10,11 @@ Two failure scenarios:
   resumes", §2) and finishes playback.
 """
 
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import x1_robustness
+from conftest import jobs, run_study, trials
 
 
 def test_x1_robustness(benchmark, record_result):
-    result = run_once(benchmark, x1_robustness, trials=max(trials() // 2, 5), jobs=jobs())
+    result = run_study(benchmark, "x1", trials=max(trials() // 2, 5), jobs=jobs())
     record_result("x1", result.rendered)
     raw = result.raw
 

@@ -7,13 +7,11 @@ the MPTCP-like player (both subflows on one server) concentrates 100 %
 of the demand and starts up slower; MSPlayer spreads the load.
 """
 
-from conftest import jobs, run_once, trials
-
-from repro.analysis.experiments import x2_source_diversity
+from conftest import jobs, run_study, trials
 
 
 def test_x2_source_diversity(benchmark, record_result):
-    result = run_once(benchmark, x2_source_diversity, trials=max(trials() // 2, 5), jobs=jobs())
+    result = run_study(benchmark, "x2", trials=max(trials() // 2, 5), jobs=jobs())
     record_result("x2", result.rendered)
     raw = result.raw
 

@@ -6,13 +6,11 @@ window, last-sample) are dragged upward by the outliers — the exact
 property the paper cites [19] for choosing it.
 """
 
-from conftest import run_once
-
-from repro.analysis.experiments import x3_estimators
+from conftest import jobs, run_study
 
 
 def test_x3_estimator_burst_robustness(benchmark, record_result):
-    result = run_once(benchmark, x3_estimators)
+    result = run_study(benchmark, "x3", jobs=jobs())
     record_result("x3", result.rendered)
     raw = result.raw
 

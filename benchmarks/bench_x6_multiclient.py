@@ -24,13 +24,13 @@ import time
 
 from conftest import RESULTS_DIR, trials
 
-from repro.analysis.experiments import x6_population
+from repro.study import run_experiment
 
 RESULT_FILE = RESULTS_DIR / "BENCH_x6_population.json"
 
 
 def run_comparison(clients: int, replicates: int, jobs):
-    result = x6_population(replicates=replicates, clients=clients, jobs=jobs)
+    result = run_experiment("x6", replicates=replicates, clients=clients, jobs=jobs)
     return result.rendered, result.raw
 
 

@@ -70,3 +70,25 @@ def record_result(capsys):
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_study(benchmark, experiment_id, *, jobs=None, **params):
+    """Run a registered experiment once via the study registry.
+
+    The benches drive experiments by id through
+    :func:`repro.study.run_experiment` (the same
+    :class:`~repro.study.Study` path the CLI generates), so bench
+    coverage cannot drift from ``repro list`` — an id with no schema,
+    or params the schema rejects, fails here exactly like it fails on
+    the command line.  ``tests/test_study_registry.py`` gates the
+    inverse: every registered id is referenced by some bench file.
+    """
+    from repro.study import run_experiment
+
+    return benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"jobs": jobs, **params},
+        rounds=1,
+        iterations=1,
+    )

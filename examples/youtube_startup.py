@@ -3,8 +3,10 @@
 
 Compares MSPlayer against single-path WiFi and LTE commercial-player
 emulations (one big pre-buffer request each) for 20/40/60-second
-pre-buffers, printing a boxplot panel per duration — the paper's Fig. 4
-as terminal output.
+pre-buffers — the paper's Fig. 4 as terminal output, driven through the
+declarative Study API: one line selects the registered experiment,
+validates the knobs against its typed schema, and submits every
+configuration's trials as a single interleaved campaign.
 
 Run:  python examples/youtube_startup.py [trials]
 """
@@ -13,49 +15,23 @@ from __future__ import annotations
 
 import sys
 
-from repro import PlayerConfig, TrialRunner, youtube_profile
-from repro.analysis.tables import render_distribution_rows
-from repro.analysis.stats import summarize
-from repro.sim.singlepath import HTML5_CHUNK
+from repro.study import Study
 
 
 def main() -> None:
     trials = int(sys.argv[1]) if len(sys.argv) > 1 else 10
-    runner = TrialRunner(youtube_profile, root_seed=42, trials=trials)
 
     print(f"Fig. 4 reproduction — {trials} trials per configuration")
     print("(paper: MSPlayer cuts start-up by 12/21/28 % vs best single path)\n")
 
-    for prebuffer in (20.0, 40.0, 60.0):
-        config = PlayerConfig(prebuffer_s=prebuffer)
-        samples = [
-            (
-                "WiFi",
-                runner.run(
-                    f"wifi-{prebuffer}", runner.singlepath(0, HTML5_CHUNK, config)
-                ).startup_delays(),
-            ),
-            (
-                "LTE",
-                runner.run(
-                    f"lte-{prebuffer}", runner.singlepath(1, HTML5_CHUNK, config)
-                ).startup_delays(),
-            ),
-            (
-                "MSPlayer",
-                runner.run(f"ms-{prebuffer}", runner.msplayer(config)).startup_delays(),
-            ),
-        ]
-        medians = {label: summarize(values).median for label, values in samples}
-        reduction = 1.0 - medians["MSPlayer"] / min(medians["WiFi"], medians["LTE"])
+    result = Study("fig4", trials=trials, seed=42).run()
+    print(result.rendered)
+
+    for duration, numbers in result.only().result.raw.items():
         print(
-            render_distribution_rows(
-                samples,
-                title=f"--- pre-buffer {prebuffer:.0f} s "
-                f"(MSPlayer reduction vs best single path: {reduction:.0%}) ---",
-            )
+            f"pre-buffer {duration}: MSPlayer reduction vs best single "
+            f"path {numbers['reduction']:.0%}"
         )
-        print()
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ from .sim import (
     testbed_profile,
     youtube_profile,
 )
+from .study import Study, StudyResult
 from .units import KB, MB, format_size, mbit, parse_size
 
 __version__ = "1.0.0"
@@ -70,6 +71,8 @@ __all__ = [
     "SinglePathDriver",
     "SessionOutcome",
     "TrialRunner",
+    "Study",
+    "StudyResult",
     "testbed_profile",
     "youtube_profile",
     "mobility_profile",

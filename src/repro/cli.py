@@ -7,17 +7,37 @@ Commands:
 * ``experiment`` — regenerate a paper figure/table by id (fig1…fig5,
   table1, x1…x3, x6) and print the panel;
 * ``adaptive`` — run the DASH-extension player with a chosen controller;
-* ``list`` — show available experiments and profiles.
+* ``list`` — show available experiments (from the registry) and
+  profiles.
+
+The ``experiment`` surface is *generated from the study registry*
+(:mod:`repro.study`): each experiment id is a sub-command whose flags
+are derived from its :class:`~repro.study.params.ParamSchema` — so
+``repro experiment fig3 --help`` shows exactly fig3's knobs, a knob
+aimed at the wrong experiment is an argparse error, and a new
+experiment needs zero CLI edits.  Every id additionally accepts:
+
+* ``--jobs`` / ``--ipc`` — execution backend and collection mode
+  (uniform across ids; fig1/x3 fan out like everything else);
+* ``--set key=value`` — generic schema-validated override (same
+  strings the flags take: ``--set chunks=64KB,1MB``);
+* ``--grid key=v1,v2`` — sweep a param across study cells; all cells
+  run as one merged pool submission (``;`` separates tuple-valued
+  cells: ``--grid prebuffers='20;40,60'``);
+* ``--save PATH`` — archive the :class:`~repro.study.StudyResult` to
+  ``PATH.json`` + ``PATH.npz``.
+
+``main`` returns process exit codes (argparse rejections included)
+instead of raising ``SystemExit``, so in-process callers get ``2`` for
+a bad flag the same way a shell would.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
-from typing import Callable, Sequence
+from typing import Sequence
 
-from .analysis import experiments as exp
 from .core.config import PlayerConfig
 from .errors import ConfigError
 from .ext.adaptive import (
@@ -29,30 +49,108 @@ from .ext.adaptive import (
 from .sim.driver import MSPlayerDriver
 from .sim.profiles import PROFILES
 from .sim.scenario import Scenario, ScenarioConfig
+from .study import Study, experiment_ids, get_experiment
+from .study.params import UNSET, Param
 from .units import parse_size
-
-#: experiment id -> (callable, kind).  ``single`` experiments are
-#: deterministic one-pass functions; ``trials`` experiments take the
-#: --trials/--jobs campaign knobs; ``population`` experiments take
-#: --replicates/--clients/--jobs (whole populations as work units).
-EXPERIMENTS: dict[str, tuple[Callable, str]] = {
-    "fig1": (exp.fig1_bootstrap_timing, "single"),
-    "fig2": (exp.fig2_prebuffer_testbed, "trials"),
-    "fig3": (exp.fig3_scheduler_sweep, "trials"),
-    "fig4": (exp.fig4_prebuffer_youtube, "trials"),
-    "fig5": (exp.fig5_rebuffer, "trials"),
-    "table1": (exp.table1_traffic_fraction, "trials"),
-    "x1": (exp.x1_robustness, "trials"),
-    "x2": (exp.x2_source_diversity, "trials"),
-    "x3": (exp.x3_estimators, "single"),
-    "x6": (exp.x6_population, "population"),
-}
 
 CONTROLLERS = {
     "fixed": lambda itag: FixedBitrateController(itag),
     "buffer": lambda itag: BufferBasedController(),
     "throughput": lambda itag: ThroughputController(),
 }
+
+#: argparse dests reserved by the generated experiment sub-commands; a
+#: schema param may not shadow them (enforced at parser build time).
+_RESERVED_DESTS = frozenset(
+    {"command", "id", "jobs", "ipc", "save", "set", "grid"}
+)
+
+
+def _add_param_flag(parser: argparse.ArgumentParser, param: Param) -> None:
+    """One schema param → one generated flag.
+
+    Values stay strings for ``many``/parsed params (the schema splits
+    and converts); scalar int/float params get argparse-level typing so
+    ``--trials x`` fails in the parser with the usual message.
+    """
+    kwargs: dict = {
+        "dest": param.name,
+        "default": None,  # None = "not provided"; resolution is schema-side
+        "help": f"{param.help or param.name} (default: {param.default!r})",
+        "metavar": param.name.upper(),
+    }
+    if param.many or param.parse is not None or param.type is bool:
+        kwargs["type"] = str
+        if param.many:
+            kwargs["metavar"] = f"{param.name.upper()}[,...]"
+    else:
+        kwargs["type"] = param.type
+    parser.add_argument(param.flag, **kwargs)
+
+
+def _experiment_parser(sub: argparse._SubParsersAction) -> None:
+    experiment = sub.add_parser(
+        "experiment",
+        help="regenerate a paper figure/table (sub-command per id)",
+        description="Experiment ids are generated from the study registry; "
+        "`repro experiment <id> --help` lists that id's typed knobs.",
+    )
+    by_id = experiment.add_subparsers(dest="id", required=True, metavar="ID")
+    for experiment_id in experiment_ids():
+        definition = get_experiment(experiment_id)
+        parser = by_id.add_parser(
+            experiment_id,
+            help=f"[{definition.kind}] {definition.title}",
+            description=definition.description or definition.title,
+        )
+        parser.set_defaults(id=experiment_id)
+        for param in definition.schema:
+            if param.name in _RESERVED_DESTS:
+                raise ConfigError(
+                    f"experiment {experiment_id!r}: param {param.name!r} "
+                    "shadows a reserved CLI dest"
+                )
+            _add_param_flag(parser, param)
+        parser.add_argument(
+            "--jobs",
+            default=None,
+            metavar="N",
+            help="execution backend for the study's merged campaign "
+            "submission: an integer worker count, 'auto' (one per CPU), "
+            "or 'serial' (default; REPRO_JOBS env overrides).  Results "
+            "are byte-identical whatever the backend",
+        )
+        parser.add_argument(
+            "--ipc",
+            choices=("pickle", "shm"),
+            default=None,
+            help="result collection for process backends: 'shm' (default) "
+            "has workers write dense outcome columns into a shared-memory "
+            "arena, 'pickle' sends full result objects through the pool "
+            "pipe.  Byte-identical either way; sets REPRO_IPC for the run",
+        )
+        parser.add_argument(
+            "--set",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="generic schema-validated param override "
+            "(e.g. --set chunks=64KB,1MB); repeatable",
+        )
+        parser.add_argument(
+            "--grid",
+            action="append",
+            default=[],
+            metavar="KEY=V1,V2",
+            help="sweep a param across study cells, all cells one merged "
+            "pool submission; ';' separates tuple-valued cells; repeatable",
+        )
+        parser.add_argument(
+            "--save",
+            default=None,
+            metavar="PATH",
+            help="archive the StudyResult to PATH.json + PATH.npz",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,47 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     play.add_argument("--paths", type=int, choices=(1, 2), default=2)
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
-    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
-    # None (not 10) so misuse on non-trials experiments is detectable;
-    # the trials branch resolves None to the historical default of 10.
-    experiment.add_argument("--trials", type=int, default=None)
-    experiment.add_argument(
-        "--jobs",
-        default=None,
-        metavar="N",
-        help="trial execution backend for the figure's campaign: an integer "
-        "worker count, 'auto' (one per CPU), or 'serial' (default; "
-        "REPRO_JOBS env overrides).  A whole-figure sweep is submitted "
-        "as one campaign — every configuration's trials interleaved "
-        "into a single pool submission, no per-configuration barrier",
-    )
-    experiment.add_argument(
-        "--ipc",
-        choices=("pickle", "shm"),
-        default=None,
-        help="result collection for process backends: 'shm' (default) has "
-        "workers write dense outcome columns into a shared-memory arena, "
-        "'pickle' sends full outcome objects through the pool pipe.  "
-        "Byte-identical results either way; sets REPRO_IPC for the run",
-    )
-    experiment.add_argument(
-        "--replicates",
-        type=int,
-        default=None,
-        metavar="R",
-        help="population experiments (x6) only: independently seeded "
-        "populations per policy; each whole population is one parallel "
-        "work unit",
-    )
-    experiment.add_argument(
-        "--clients",
-        type=int,
-        default=None,
-        metavar="C",
-        help="population experiments (x6) only: simultaneous MSPlayer "
-        "clients per population (a flash crowd sharing one CDN deployment)",
-    )
+    _experiment_parser(sub)
 
     adaptive = sub.add_parser("adaptive", help="run the DASH-extension player (§7)")
     adaptive.add_argument("--controller", choices=sorted(CONTROLLERS), default="throughput")
@@ -154,71 +212,72 @@ def _command_play(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_experiment(args: argparse.Namespace) -> int:
-    function, kind = EXPERIMENTS[args.id]
-    if kind != "population" and (
-        args.replicates is not None or args.clients is not None
-    ):
-        print(
-            f"error: --replicates/--clients only apply to population "
-            f"experiments, not {args.id!r}",
-            file=sys.stderr,
-        )
-        return 2
-    if kind != "trials" and args.trials is not None:
-        print(
-            f"error: --trials does not apply to {args.id!r}"
-            + (" (use --replicates/--clients)" if kind == "population" else ""),
-            file=sys.stderr,
-        )
-        return 2
-    if (args.replicates is not None and args.replicates < 1) or (
-        args.clients is not None and args.clients < 1
-    ):
-        print("error: --replicates and --clients must be >= 1", file=sys.stderr)
-        return 2
-    # The experiment functions take a jobs knob but construct their own
-    # engines, so the collection mode travels via the environment —
-    # --ipc overrides REPRO_IPC for this invocation only (restored on
-    # exit so in-process callers of main() don't inherit it).
-    previous_ipc = os.environ.get("REPRO_IPC")
-    if args.ipc is not None:
-        os.environ["REPRO_IPC"] = args.ipc
-    try:
-        # Validate before the campaign starts so a typo'd --jobs (or
-        # REPRO_JOBS — resolve_engine(None) consults it) fails in
-        # milliseconds with a one-line error, not a traceback.  Validated
-        # for every experiment id so the flag behaves consistently even on
-        # the single-pass experiments that have nothing to fan out.
-        try:
-            from .sim.execution import resolve_engine
+def _split_assignment(token: str, flag: str) -> tuple[str, str]:
+    if "=" not in token:
+        raise ConfigError(f"{flag} expects KEY=VALUE, got {token!r}")
+    key, value = token.split("=", 1)
+    key = key.strip().replace("-", "_")
+    if not key:
+        raise ConfigError(f"{flag} expects KEY=VALUE, got {token!r}")
+    return key, value
 
-            resolve_engine(args.jobs)
-        except ConfigError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        # Trial-based experiments all accept the execution-backend knob;
-        # fig1/x3 are deterministic single passes with nothing to fan out.
-        if kind == "trials":
-            trials = 10 if args.trials is None else args.trials
-            result = function(trials=trials, jobs=args.jobs)
-        elif kind == "population":
-            # None falls through to the experiment function's defaults.
-            kwargs = {}
-            if args.replicates is not None:
-                kwargs["replicates"] = args.replicates
-            if args.clients is not None:
-                kwargs["clients"] = args.clients
-            result = function(jobs=args.jobs, **kwargs)
+
+def _experiment_inputs(args: argparse.Namespace):
+    """Flags + ``--set`` + ``--grid`` → (overrides, grid axes).
+
+    Flag values and ``--set`` strings are *not* converted here — the
+    schema is the single validation point (``Study`` resolves them), so
+    a bad value dies with the same one-line error whichever door it
+    came through.
+    """
+    definition = get_experiment(args.id)
+    overrides: dict = {}
+    for param in definition.schema:
+        value = getattr(args, param.name)
+        if value is None:
+            if param.cli_default is not UNSET:
+                overrides[param.name] = param.cli_default
         else:
-            result = function()
-    finally:
-        if args.ipc is not None:
-            if previous_ipc is None:
-                os.environ.pop("REPRO_IPC", None)
-            else:
-                os.environ["REPRO_IPC"] = previous_ipc
-    print(result.rendered)
+            overrides[param.name] = value
+    for token in args.set:
+        key, value = _split_assignment(token, "--set")
+        overrides[key] = value
+    grid: dict[str, list[str]] = {}
+    for token in args.grid:
+        key, value = _split_assignment(token, "--grid")
+        separator = ";" if ";" in value else ","
+        cells = [cell for cell in value.split(separator) if cell.strip()]
+        if not cells:
+            raise ConfigError(f"--grid {key} needs at least one value")
+        grid[key] = cells
+    return overrides, grid
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    try:
+        # Validate the backend before anything runs so a typo'd --jobs
+        # (or REPRO_JOBS) fails in milliseconds with a one-line error —
+        # engine construction also resolves the ipc mode, and the --ipc
+        # override must already be in force while it does.
+        from .sim.execution import resolve_engine
+        from .study.study import _ipc_override
+
+        overrides, grid = _experiment_inputs(args)
+        with _ipc_override(args.ipc):
+            engine = resolve_engine(args.jobs)
+            study = Study(args.id, **overrides)
+            if grid:
+                study = study.grid(**grid)
+            result = study.run(engine=engine)
+        print(result.rendered)
+        if args.save:
+            json_path, npz_path = result.save(args.save)
+            print(
+                f"archived study result: {json_path} + {npz_path}", file=sys.stderr
+            )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -242,8 +301,11 @@ def _command_adaptive(args: argparse.Namespace) -> int:
 
 def _command_list(_args: argparse.Namespace) -> int:
     print("experiments:")
-    for key in sorted(EXPERIMENTS):
-        print(f"  {key}")
+    for experiment_id in experiment_ids():
+        definition = get_experiment(experiment_id)
+        print(f"  {experiment_id:8s} [{definition.kind}] {definition.title}")
+        for param in definition.schema:
+            print(f"           {param.describe()}")
     print("profiles:")
     for key in sorted(PROFILES):
         print(f"  {key}")
@@ -259,7 +321,20 @@ _HANDLERS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    """Parse and dispatch; returns an exit code, never raises SystemExit.
+
+    argparse signals rejection (unknown id, a knob aimed at the wrong
+    experiment, bad int) by raising ``SystemExit(2)`` after printing to
+    stderr; converting that to a return keeps in-process callers —
+    tests, notebooks — on the same contract as the shell.
+    """
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
     return _HANDLERS[args.command](args)
 
 

@@ -49,6 +49,7 @@ __all__ = [
     "TrialResult",
     "dense_field_mismatches",
     "interleave",
+    "run_together",
 ]
 
 
@@ -406,9 +407,28 @@ class Campaign:
         jobs: Union[int, str, ExecutionEngine, None] = None,
         engine: Optional[ExecutionEngine] = None,
     ) -> None:
-        self.engine = engine if engine is not None else resolve_engine(jobs)
+        self._jobs = jobs
+        self._engine = engine
         self._batches: list[list[TrialSpec]] = []
         self._labels: list[str] = []
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution backend, resolved on first use.
+
+        Lazy on purpose: experiment plan builders construct unrun
+        campaigns (``Study`` supplies the engine at run time), and an
+        eagerly resolved engine would consult ``REPRO_JOBS`` — letting
+        a broken environment value poison runs whose backend was
+        chosen explicitly.
+        """
+        if self._engine is None:
+            self._engine = resolve_engine(self._jobs)
+        return self._engine
+
+    @engine.setter
+    def engine(self, engine: ExecutionEngine) -> None:
+        self._engine = engine
 
     def add(self, specs: Sequence[TrialSpec]) -> str:
         """Register one configuration's trial batch; returns its label."""
@@ -449,25 +469,7 @@ class Campaign:
         arena's dense columns — no outcome objects, no deserialization
         of the dense data — and the objects themselves stay lazy.
         """
-        merged = interleave(self._batches)
-        collection = collect_trials(self.engine, merged)
-        rows_by_label: dict[str, list[int]] = {label: [] for label in self._labels}
-        for i, spec in enumerate(merged):
-            rows_by_label[spec.label].append(i)
-        results = {}
-        for label in self._labels:
-            rows = rows_by_label[label]
-            if collection.columnar:
-                dense = {
-                    name: column[rows] for name, column in collection.dense.items()
-                }
-                sides = [collection.sides[i] for i in rows]
-                results[label] = self._result_from_columnar(label, dense, sides)
-            else:
-                results[label] = self._result_from_outcomes(
-                    label, [collection.outcomes[i] for i in rows]
-                )
-        return results
+        return run_together([self], self.engine)[0]
 
     # -- demux hooks (overridden by other campaign kinds) -------------------
 
@@ -485,3 +487,69 @@ class Campaign:
             batch=OutcomeBatch.from_dense_and_sides(dense, sides),
             outcome_thunk=partial(rebuild_outcomes, dense, sides),
         )
+
+
+def run_together(
+    campaigns: Sequence[Campaign], engine=None
+) -> list[dict[str, TrialResult]]:
+    """Run several same-kind campaigns as ONE engine submission.
+
+    The merged-submission primitive under both :meth:`Campaign.run`
+    (one campaign) and ``Study.grid`` (one campaign per grid cell): all
+    campaigns' batches are round-robin interleaved — trial *i* of every
+    batch before trial *i+1* of any — submitted once, and demultiplexed
+    back per (campaign, label) by submission position.  Every spec
+    carries its own derived seed, so each campaign's results are
+    byte-identical to running it alone; what merging buys is pool
+    utilization — no barrier between cells, every worker busy across
+    cell boundaries.
+
+    All campaigns must be the same class (their demux hooks decide the
+    result kind) and their specs must share one dense column layout,
+    which same-kind campaigns do by construction.  ``engine`` defaults
+    to the first campaign's.
+    """
+    if not campaigns:
+        return []
+    kinds = {type(campaign) for campaign in campaigns}
+    if len(kinds) != 1:
+        names = sorted(kind.__name__ for kind in kinds)
+        raise ConfigError(
+            f"run_together needs same-kind campaigns, got {', '.join(names)}"
+        )
+    if engine is None:
+        engine = campaigns[0].engine
+    batches: list[list] = []
+    owners: list[int] = []
+    for index, campaign in enumerate(campaigns):
+        for batch in campaign._batches:
+            batches.append(batch)
+            owners.append(index)
+    merged: list = []
+    merged_owner: list[int] = []
+    for rank in range(max((len(batch) for batch in batches), default=0)):
+        for batch, owner in zip(batches, owners):
+            if rank < len(batch):
+                merged.append(batch[rank])
+                merged_owner.append(owner)
+    collection = collect_trials(engine, merged)
+    rows_by_key: dict[tuple[int, str], list[int]] = {}
+    for position, (spec, owner) in enumerate(zip(merged, merged_owner)):
+        rows_by_key.setdefault((owner, spec.label), []).append(position)
+    results: list[dict[str, TrialResult]] = []
+    for index, campaign in enumerate(campaigns):
+        per_label: dict[str, TrialResult] = {}
+        for label in campaign._labels:
+            rows = rows_by_key[(index, label)]
+            if collection.columnar:
+                dense = {
+                    name: column[rows] for name, column in collection.dense.items()
+                }
+                sides = [collection.sides[i] for i in rows]
+                per_label[label] = campaign._result_from_columnar(label, dense, sides)
+            else:
+                per_label[label] = campaign._result_from_outcomes(
+                    label, [collection.outcomes[i] for i in rows]
+                )
+        results.append(per_label)
+    return results

@@ -72,7 +72,21 @@ class TrialRunner:
         self.scenario_config = scenario_config or ScenarioConfig()
         self.root = RngFactory(root_seed)
         self.trials = trials
-        self.engine = engine if engine is not None else resolve_engine(jobs)
+        self._jobs = jobs
+        self._engine = engine
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution backend, resolved on first use (``run`` needs
+        it; plan builders that only call ``specs_for`` never do, so a
+        stale ``REPRO_JOBS`` cannot break explicitly-backed runs)."""
+        if self._engine is None:
+            self._engine = resolve_engine(self._jobs)
+        return self._engine
+
+    @engine.setter
+    def engine(self, engine: ExecutionEngine) -> None:
+        self._engine = engine
 
     def seed_for(self, label: str, trial: int) -> int:
         return self.root.child(label).integer(f"trial-{trial}")

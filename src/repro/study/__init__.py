@@ -1,0 +1,47 @@
+"""Declarative study API: registry, typed params, grids, archives.
+
+The public surface every scenario PR targets (see DESIGN.md
+"Declarative study API"):
+
+* :class:`ExperimentDef` / :func:`register` / :func:`get_experiment` /
+  :func:`experiment_ids` — the typed experiment registry;
+* :class:`Param` / :class:`ParamSchema` — parameter schemas (the single
+  validation point for the Study facade, the generated CLI, and
+  archive loading);
+* :class:`Study` / :class:`StudyResult` — declarative runs and
+  parameter grids, every cell one merged pool submission;
+* :func:`run_experiment` — one-shot convenience the legacy
+  ``analysis.experiments`` wrappers delegate to;
+* :data:`SCHEMA_VERSION` and ``StudyResult.save()/load()`` — versioned
+  JSON + npz result archives.
+"""
+
+from .archive import ARCHIVE_FORMAT, SCHEMA_VERSION, load_study, save_study
+from .params import Param, ParamSchema, schema
+from .registry import (
+    ExperimentDef,
+    ExperimentPlan,
+    experiment_ids,
+    get_experiment,
+    register,
+)
+from .study import Study, StudyCell, StudyResult, run_experiment
+
+__all__ = [
+    "ARCHIVE_FORMAT",
+    "ExperimentDef",
+    "ExperimentPlan",
+    "Param",
+    "ParamSchema",
+    "SCHEMA_VERSION",
+    "Study",
+    "StudyCell",
+    "StudyResult",
+    "experiment_ids",
+    "get_experiment",
+    "load_study",
+    "register",
+    "run_experiment",
+    "save_study",
+    "schema",
+]

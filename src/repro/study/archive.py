@@ -1,0 +1,245 @@
+"""Versioned, schema-checked archives for :class:`StudyResult`.
+
+One format for everything that used to be an in-memory return value:
+figures regenerated locally, benchmark records, and CI workflow
+artifacts all write the same pair of files —
+
+* ``<path>.json`` — the manifest: format tag, schema version,
+  experiment id/kind, resolved params, grid axes, and every cell's
+  overrides, rendered panel, raw numbers, and label list;
+* ``<path>.npz`` — the dense payload: every cell's per-label batch
+  columns (``OutcomeBatch`` / ``PopulationBatch`` / ``EstimatorBatch``
+  ndarrays), stored uncompressed so the float64/int64 bits the workers
+  produced are the bits a later session reads back.
+
+The loader is strict: a missing key, a wrong type, or a schema-version
+bump is a :class:`~repro.errors.ConfigError` naming the problem — not
+a half-loaded object.  Versioning policy: ``SCHEMA_VERSION`` bumps on
+any incompatible manifest change, and loads reject any other version
+outright (re-running an experiment is cheap and exact; migrating stale
+archives is not worth the code).
+
+Round-trip guarantees (held by ``tests/test_study_archive.py``):
+
+* dense columns are bit-identical after save → load (NaN included);
+* metadata survives modulo JSON's tuple→list collapse — params are
+  re-coerced through the experiment's schema on load, which restores
+  tuples for ``many`` params.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import ConfigError
+from .registry import get_experiment
+
+__all__ = ["ARCHIVE_FORMAT", "SCHEMA_VERSION", "load_study", "save_study"]
+
+#: Manifest format tag — rejects arbitrary JSON handed to ``load``.
+ARCHIVE_FORMAT = "repro-study"
+
+#: Bump on incompatible manifest changes; loads reject other versions.
+SCHEMA_VERSION = 1
+
+#: Separator for npz keys (``cell::label::column``).  ``/`` would turn
+#: npz member names into nested zip paths; labels may contain ``/``
+#: (fig3's ``harmonic/64KB/20s``), so the key is split from the right.
+_KEY_SEP = "::"
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert a raw-results object to JSON-safe types.
+
+    Numpy scalars/arrays and tuples appear throughout the experiments'
+    ``raw`` dicts; collapse them to Python scalars and lists.  Dict keys
+    become strings (JSON has no int keys).
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonify(element) for element in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(element) for key, element in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(element) for element in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError(
+        f"cannot archive value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _paths(path) -> tuple[Path, Path]:
+    """Resolve a base path to the (json, npz) file pair.
+
+    Accepts a bare base (``results/fig2-grid``) or either member of the
+    pair; the sibling is derived.  The suffixes are *appended* to a
+    bare base (never substituted), so dotted bases like
+    ``fig2.v1`` archive to ``fig2.v1.json`` instead of silently
+    colliding on ``fig2.json``.
+    """
+    path = Path(path)
+    if path.suffix in (".json", ".npz"):
+        path = path.with_suffix("")
+    return Path(f"{path}.json"), Path(f"{path}.npz")
+
+
+def save_study(result, path) -> tuple[str, str]:
+    """Write ``result`` to ``<path>.json`` + ``<path>.npz``."""
+    json_path, npz_path = _paths(path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    cells = []
+    for cell in result.cells:
+        labels = list(cell.columns)
+        for label, columns in cell.columns.items():
+            for name, column in columns.items():
+                arrays[f"{cell.index}{_KEY_SEP}{label}{_KEY_SEP}{name}"] = column
+        cells.append(
+            {
+                "overrides": _jsonify(cell.overrides),
+                "params": _jsonify(cell.params),
+                "labels": labels,
+                "rendered": cell.result.rendered,
+                "raw": _jsonify(cell.result.raw),
+            }
+        )
+    manifest = {
+        "format": ARCHIVE_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": result.experiment_id,
+        "kind": result.kind,
+        "params": _jsonify(result.params),
+        "axes": _jsonify(result.axes),
+        "cells": cells,
+        "columns": sorted(arrays),
+    }
+    json_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    # Uncompressed on purpose: bit-exactness is the contract and the
+    # columns are small; savez_compressed would also round-trip exactly
+    # but costs decompression on every load.
+    np.savez(npz_path, **arrays)
+    return str(json_path), str(npz_path)
+
+
+_MANIFEST_TYPES = {
+    "format": str,
+    "schema_version": int,
+    "experiment": str,
+    "kind": str,
+    "params": dict,
+    "axes": dict,
+    "cells": list,
+    "columns": list,
+}
+
+_CELL_TYPES = {
+    "overrides": dict,
+    "params": dict,
+    "labels": list,
+    "rendered": str,
+    "raw": dict,
+}
+
+
+def _check(mapping: Mapping, types: Mapping[str, type], where: str) -> None:
+    for key, expected in types.items():
+        if key not in mapping:
+            raise ConfigError(f"study archive {where}: missing key {key!r}")
+        if not isinstance(mapping[key], expected):
+            raise ConfigError(
+                f"study archive {where}: {key!r} must be "
+                f"{expected.__name__}, got {type(mapping[key]).__name__}"
+            )
+
+
+def load_study(path):
+    """Load a :class:`StudyResult` archived by :func:`save_study`."""
+    from ..analysis.experiments import ExperimentResult
+    from .study import StudyCell, StudyResult
+
+    json_path, npz_path = _paths(path)
+    if not json_path.exists():
+        raise ConfigError(f"study archive not found: {json_path}")
+    try:
+        manifest = json.loads(json_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"study archive {json_path} is not valid JSON: {exc}")
+    if not isinstance(manifest, dict):
+        raise ConfigError(f"study archive {json_path}: manifest must be an object")
+    _check(manifest, _MANIFEST_TYPES, "manifest")
+    if manifest["format"] != ARCHIVE_FORMAT:
+        raise ConfigError(
+            f"study archive {json_path}: format {manifest['format']!r} is not "
+            f"{ARCHIVE_FORMAT!r}"
+        )
+    if manifest["schema_version"] != SCHEMA_VERSION:
+        raise ConfigError(
+            f"study archive {json_path}: schema version "
+            f"{manifest['schema_version']} is not the supported {SCHEMA_VERSION}"
+        )
+    definition = get_experiment(manifest["experiment"])
+    if manifest["kind"] != definition.kind:
+        raise ConfigError(
+            f"study archive {json_path}: kind {manifest['kind']!r} does not "
+            f"match the registered {definition.kind!r}"
+        )
+    schema = definition.schema
+    if not npz_path.exists():
+        raise ConfigError(f"study archive payload not found: {npz_path}")
+    with np.load(npz_path) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    if sorted(arrays) != sorted(manifest["columns"]):
+        raise ConfigError(
+            f"study archive {json_path}: npz columns do not match the manifest"
+        )
+    cells = []
+    for index, cell in enumerate(manifest["cells"]):
+        if not isinstance(cell, dict):
+            raise ConfigError(f"study archive cell {index}: must be an object")
+        _check(cell, _CELL_TYPES, f"cell {index}")
+        columns: dict[str, dict[str, np.ndarray]] = {
+            label: {} for label in cell["labels"]
+        }
+        prefix = f"{index}{_KEY_SEP}"
+        for key, column in arrays.items():
+            if not key.startswith(prefix):
+                continue
+            label, name = key[len(prefix) :].rsplit(_KEY_SEP, 1)
+            if label not in columns:
+                raise ConfigError(
+                    f"study archive cell {index}: column for unknown label "
+                    f"{label!r}"
+                )
+            columns[label][name] = column
+        overrides = {
+            name: schema[name].coerce(value)
+            for name, value in cell["overrides"].items()
+        }
+        cells.append(
+            StudyCell(
+                index=index,
+                overrides=overrides,
+                params=schema.resolve(cell["params"]),
+                result=ExperimentResult(
+                    manifest["experiment"], cell["rendered"], cell["raw"]
+                ),
+                columns=columns,
+            )
+        )
+    axes = {
+        name: [schema[name].coerce(value) for value in values]
+        for name, values in manifest["axes"].items()
+    }
+    return StudyResult(
+        experiment_id=manifest["experiment"],
+        kind=manifest["kind"],
+        params=schema.resolve(manifest["params"]),
+        axes=axes,
+        cells=cells,
+    )

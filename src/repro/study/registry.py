@@ -1,0 +1,133 @@
+"""The experiment registry: every figure/table as one typed object.
+
+Before this layer, adding a scenario meant editing three files — a
+bespoke kwarg function in ``analysis/experiments.py``, a hand-wired
+``EXPERIMENTS`` entry plus copy-pasted argparse flags in ``cli.py``,
+and a benchmark importing the function by name.  The registry collapses
+that to one :class:`ExperimentDef`:
+
+* ``schema`` — the typed parameter surface (:mod:`repro.study.params`);
+  the :class:`~repro.study.study.Study` facade, the generated CLI, and
+  archive loading all validate through it;
+* ``build`` — a pure function ``params -> ExperimentPlan``, where the
+  plan couples an *unrun* :class:`~repro.sim.campaign.Campaign` (every
+  configuration's work specs registered, no engine committed) with a
+  ``render`` callable that turns the campaign's per-label results into
+  the figure's :class:`~repro.analysis.experiments.ExperimentResult`.
+  Keeping the campaign unrun is what lets ``Study.grid`` merge many
+  cells into one pool submission;
+* ``smoke_params`` — the tiny-scale overrides the CI registry-
+  completeness gate runs every experiment with.
+
+Definitions live next to their science in
+:mod:`repro.analysis.experiments`; importing that module populates the
+registry (and :func:`get_experiment` imports it lazily, so
+``Study("fig3")`` works without ceremony).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Mapping, TYPE_CHECKING
+
+from ..errors import ConfigError
+from .params import ParamSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.experiments import ExperimentResult
+    from ..sim.campaign import Campaign
+
+__all__ = [
+    "ExperimentDef",
+    "ExperimentPlan",
+    "KINDS",
+    "experiment_ids",
+    "get_experiment",
+    "register",
+]
+
+#: Valid experiment kinds: ``single`` (deterministic pass, no trial
+#: fan-out knob), ``trials`` (per-trial campaigns), ``population``
+#: (whole multi-client populations as work units).
+KINDS = ("single", "trials", "population")
+
+
+@dataclass
+class ExperimentPlan:
+    """What one experiment cell submits and how it reads the results.
+
+    ``campaign`` holds every configuration's spec batches but has not
+    run; ``render`` maps the campaign's ``{label: result}`` dict to the
+    finished :class:`ExperimentResult`.  The split is the contract that
+    makes grids possible: N cells' campaigns are interleaved into one
+    engine submission and each cell's ``render`` sees exactly the
+    results it would have seen running alone.
+    """
+
+    campaign: "Campaign"
+    render: Callable[[Mapping[str, Any]], "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One registered experiment: identity, typed schema, plan builder."""
+
+    experiment_id: str
+    title: str
+    kind: str
+    schema: ParamSchema
+    build: Callable[[Mapping[str, Any]], ExperimentPlan]
+    description: str = ""
+    #: Tiny-scale overrides for the CI completeness gate (must run in
+    #: seconds, serially).
+    smoke_params: Mapping[str, Any] = dataclass_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"experiment {self.experiment_id!r}: unknown kind "
+                f"{self.kind!r}; expected one of {', '.join(KINDS)}"
+            )
+        # Smoke overrides must themselves satisfy the schema, so the
+        # gate cannot silently drift from the declared surface.
+        self.schema.resolve(self.smoke_params)
+
+
+_REGISTRY: dict[str, ExperimentDef] = {}
+
+
+def register(definition: ExperimentDef) -> ExperimentDef:
+    """Add one definition to the registry (idempotent per id + object)."""
+    existing = _REGISTRY.get(definition.experiment_id)
+    if existing is not None and existing is not definition:
+        raise ConfigError(
+            f"experiment id {definition.experiment_id!r} is already registered"
+        )
+    _REGISTRY[definition.experiment_id] = definition
+    return definition
+
+
+def _ensure_builtins() -> None:
+    """Populate the registry with the paper's experiments on demand."""
+    if "fig1" not in _REGISTRY:
+        from ..analysis import experiments as _experiments  # noqa: F401
+
+        del _experiments
+
+
+def get_experiment(experiment_id: str) -> ExperimentDef:
+    """Look an experiment up by id, importing the built-ins if needed."""
+    _ensure_builtins()
+    definition = _REGISTRY.get(experiment_id)
+    if definition is None:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{', '.join(experiment_ids())}"
+        )
+    return definition
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -1,0 +1,325 @@
+"""The ``Study`` facade: declarative experiment runs and grids.
+
+One object replaces the pile of per-experiment entry points::
+
+    from repro.study import Study
+
+    # one cell, schema-validated params
+    result = Study("fig4", trials=10, prebuffers=(20.0, 40.0)).run(jobs="auto")
+    print(result.rendered)
+
+    # a grid: every cell a full experiment, ALL cells one pool submission
+    grid = Study("fig2", trials=5).grid(seed=[2014, 2015], trials=[5, 10])
+    study_result = grid.run(jobs="auto")
+    study_result.save("results/fig2-grid")         # .json + .npz archive
+
+``Study(experiment, **params)`` validates ``params`` against the
+registered :class:`~repro.study.registry.ExperimentDef` schema at
+construction — unknown or ill-typed knobs fail immediately, before any
+simulation runs.  ``grid`` sweeps schema params across cells (Cartesian
+product, last axis fastest); ``run`` builds every cell's campaign plan
+and submits them together through
+:func:`~repro.sim.campaign.run_together`, so a grid saturates the
+worker pool exactly like one big campaign while each cell's outcomes
+stay byte-identical to running that cell alone (each work spec carries
+its own derived seed; submission order is irrelevant).
+
+The returned :class:`StudyResult` is a durable artifact: per-cell
+rendered panels and raw numbers plus every label's dense batch columns,
+with a versioned save/load round trip (:mod:`repro.study.archive`) that
+preserves the column bits exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim.campaign import run_together
+from ..sim.execution import ExecutionEngine, resolve_engine
+from .registry import ExperimentDef, get_experiment
+
+__all__ = ["Study", "StudyCell", "StudyResult", "run_experiment"]
+
+
+@contextmanager
+def _ipc_override(ipc: Optional[str]) -> Iterator[None]:
+    """Scope an ``--ipc``-style collection-mode override to one run.
+
+    The engines consult ``REPRO_IPC`` at construction, so the variable
+    is set before engine resolution and restored afterwards — in-process
+    callers never inherit the override (same contract the CLI has had
+    since the flag existed).
+    """
+    if ipc is None:
+        yield
+        return
+    previous = os.environ.get("REPRO_IPC")
+    os.environ["REPRO_IPC"] = ipc
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_IPC", None)
+        else:
+            os.environ["REPRO_IPC"] = previous
+
+
+def _batch_columns(results: Mapping[str, Any]) -> dict[str, dict[str, np.ndarray]]:
+    """Every label's dense batch columns, generically.
+
+    Works for any result kind whose ``batch`` is an ndarray dataclass
+    (``OutcomeBatch``, ``PopulationBatch``, ``EstimatorBatch``) — the
+    same field enumeration :func:`~repro.sim.campaign.
+    dense_field_mismatches` relies on, so archives can never silently
+    drop a column a determinism test would have checked.
+    """
+    columns: dict[str, dict[str, np.ndarray]] = {}
+    for label, result in results.items():
+        batch = result.batch
+        columns[label] = {
+            batch_field.name: getattr(batch, batch_field.name)
+            for batch_field in dataclass_fields(batch)
+        }
+    return columns
+
+
+@dataclass
+class StudyCell:
+    """One grid cell: its coordinates, full params, and results."""
+
+    index: int
+    #: The grid coordinates of this cell ({} for a single-cell study).
+    overrides: dict[str, Any]
+    #: The cell's full resolved param dict (defaults + overrides).
+    params: dict[str, Any]
+    #: The finished figure/table (rendered text + raw numbers).
+    result: Any
+    #: ``{label: {column: ndarray}}`` dense batch columns per label.
+    columns: dict[str, dict[str, np.ndarray]]
+
+
+class StudyResult:
+    """A study's durable output: cells, axes, and dense columns.
+
+    Constructed by :meth:`Study.run` and by :meth:`load`; the two are
+    interchangeable for analysis — ``save``/``load`` round-trips the
+    dense columns bit-identically and the metadata losslessly (tuples
+    become lists in JSON; params are re-coerced through the experiment
+    schema on load, restoring tuple-ness).
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        kind: str,
+        params: dict[str, Any],
+        axes: dict[str, list],
+        cells: list[StudyCell],
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.kind = kind
+        self.params = params
+        self.axes = axes
+        self.cells = cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[StudyCell]:
+        return iter(self.cells)
+
+    @property
+    def rendered(self) -> str:
+        """Every cell's rendered panel, grid order."""
+        blocks = []
+        for cell in self.cells:
+            if cell.overrides:
+                coords = ", ".join(f"{k}={v!r}" for k, v in cell.overrides.items())
+                blocks.append(f"=== {self.experiment_id} [{coords}] ===")
+            blocks.append(cell.result.rendered)
+        return "\n\n".join(blocks)
+
+    def only(self) -> StudyCell:
+        """The single cell of a gridless study."""
+        if len(self.cells) != 1:
+            raise ConfigError(
+                f"study has {len(self.cells)} cells; use cell(...) to pick one"
+            )
+        return self.cells[0]
+
+    def cell(self, **coords: Any) -> StudyCell:
+        """The cell at the given grid coordinates."""
+        unknown = set(coords) - set(self.axes)
+        if unknown:
+            raise ConfigError(
+                f"unknown grid axes {sorted(unknown)}; axes: {sorted(self.axes)}"
+            )
+        schema = get_experiment(self.experiment_id).schema
+        coords = {name: schema[name].coerce(value) for name, value in coords.items()}
+        matches = [
+            cell
+            for cell in self.cells
+            if all(cell.params[name] == value for name, value in coords.items())
+        ]
+        if len(matches) != 1:
+            raise ConfigError(
+                f"coordinates {coords!r} match {len(matches)} cells, need exactly 1"
+            )
+        return matches[0]
+
+    def column_mismatches(self, other: "StudyResult") -> list[str]:
+        """Column paths (``cell/label/column``) not bit-identical to
+        ``other``'s — the archive round-trip determinism predicate."""
+        mismatched = []
+        if len(self.cells) != len(other.cells):
+            return ["<cell count>"]
+        for mine, theirs in zip(self.cells, other.cells):
+            if sorted(mine.columns) != sorted(theirs.columns):
+                mismatched.append(f"{mine.index}/<labels>")
+                continue
+            for label, columns in mine.columns.items():
+                for name, column in columns.items():
+                    other_column = theirs.columns[label][name]
+                    if column.dtype != other_column.dtype or not np.array_equal(
+                        column, other_column, equal_nan=column.dtype.kind == "f"
+                    ):
+                        mismatched.append(f"{mine.index}/{label}/{name}")
+        return mismatched
+
+    def save(self, path) -> tuple[str, str]:
+        """Archive to ``<path>.json`` + ``<path>.npz``; returns both paths."""
+        from .archive import save_study
+
+        return save_study(self, path)
+
+    @classmethod
+    def load(cls, path) -> "StudyResult":
+        """Load an archive written by :meth:`save` (schema-checked)."""
+        from .archive import load_study
+
+        return load_study(path)
+
+
+class Study:
+    """A declarative handle on one registered experiment.
+
+    Immutable-ish builder: ``grid`` returns a new ``Study`` with axes
+    attached; ``run`` executes and returns a :class:`StudyResult`.
+    """
+
+    def __init__(
+        self, experiment: Union[str, ExperimentDef], **params: Any
+    ) -> None:
+        self.definition = (
+            experiment
+            if isinstance(experiment, ExperimentDef)
+            else get_experiment(experiment)
+        )
+        # Validate eagerly: a bad knob dies here, not mid-campaign.
+        self.params = self.definition.schema.resolve(params)
+        self._overrides = dict(params)
+        self._axes: dict[str, list] = {}
+
+    @property
+    def experiment_id(self) -> str:
+        return self.definition.experiment_id
+
+    def grid(self, **axes: Sequence) -> "Study":
+        """Sweep schema params across cells (Cartesian product).
+
+        Axis order is declaration order; the last axis varies fastest.
+        Each value is validated through the param's schema entry, so a
+        ``chunk=["64KB", "256KB"]`` axis arrives as parsed byte counts.
+        """
+        clone = Study(self.definition, **self._overrides)
+        clone._axes = dict(self._axes)
+        schema = self.definition.schema
+        for name, values in axes.items():
+            param = schema[name]  # raises on unknown names
+            if not param.sweepable:
+                raise ConfigError(f"param {name!r} cannot be swept in a grid")
+            values = list(values)
+            if not values:
+                raise ConfigError(f"grid axis {name!r} cannot be empty")
+            clone._axes[name] = [param.coerce(value) for value in values]
+        return clone
+
+    def cells(self) -> list[dict[str, Any]]:
+        """Each cell's grid overrides, product order (last axis fastest)."""
+        if not self._axes:
+            return [{}]
+        names = list(self._axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*self._axes.values())
+        ]
+
+    def __len__(self) -> int:
+        """Number of grid cells this study will run."""
+        return len(self.cells())
+
+    def run(
+        self,
+        jobs: Union[int, str, ExecutionEngine, None] = None,
+        ipc: Optional[str] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> StudyResult:
+        """Execute every cell as one merged engine submission.
+
+        ``jobs``/``ipc`` take the usual values (``resolve_engine`` /
+        ``REPRO_IPC`` semantics); an explicit ``engine`` wins over
+        ``jobs``.  Cells are byte-identical to running each alone —
+        the grid only changes scheduling, never outcomes.
+        """
+        with _ipc_override(ipc):
+            engine = engine if engine is not None else resolve_engine(jobs)
+            cell_overrides = self.cells()
+            plans = []
+            cell_params = []
+            for overrides in cell_overrides:
+                params = dict(self.params)
+                params.update(overrides)
+                plans.append(self.definition.build(params))
+                cell_params.append(params)
+            per_cell = run_together([plan.campaign for plan in plans], engine)
+        cells = []
+        for index, (plan, results) in enumerate(zip(plans, per_cell)):
+            cells.append(
+                StudyCell(
+                    index=index,
+                    overrides=cell_overrides[index],
+                    params=cell_params[index],
+                    result=plan.render(results),
+                    columns=_batch_columns(results),
+                )
+            )
+        return StudyResult(
+            experiment_id=self.experiment_id,
+            kind=self.definition.kind,
+            params=dict(self.params),
+            axes={name: list(values) for name, values in self._axes.items()},
+            cells=cells,
+        )
+
+
+def run_experiment(
+    experiment_id: str,
+    jobs: Union[int, str, ExecutionEngine, None] = None,
+    ipc: Optional[str] = None,
+    **params: Any,
+):
+    """One-shot convenience: run a registered experiment, return its
+    :class:`~repro.analysis.experiments.ExperimentResult`.
+
+    The compatibility wrappers in :mod:`repro.analysis.experiments`
+    (``fig2_prebuffer_testbed(...)`` and friends) delegate here, so the
+    legacy call surface and the Study surface are the same code path.
+    """
+    return Study(experiment_id, **params).run(jobs=jobs, ipc=ipc).only().result

@@ -1,8 +1,26 @@
-"""Command-line interface."""
+"""Command-line interface (generated from the study registry)."""
+
+import json
+import pathlib
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.study import experiment_ids, get_experiment
+
+#: Knobs that exist on SOME experiment — each must be rejected on every
+#: id whose schema does not declare it (satellite: schema-driven
+#: validation closes the silently-accepted-knob paths).
+_KNOWN_FLAGS = {
+    "trials": ("--trials", "3"),
+    "replicates": ("--replicates", "2"),
+    "clients": ("--clients", "2"),
+    "samples": ("--samples", "50"),
+    "thetas": ("--thetas", "2.0"),
+    "policies": ("--policies", "static"),
+}
+
+_ALL_IDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "table1", "x1", "x2", "x3", "x6"]
 
 
 class TestParser:
@@ -21,8 +39,23 @@ class TestParser:
             build_parser().parse_args(["experiment", "fig99"])
 
     def test_every_registered_experiment_is_parseable(self):
-        for key in EXPERIMENTS:
+        for key in experiment_ids():
             args = build_parser().parse_args(["experiment", key])
+            assert args.id == key
+
+    def test_every_schema_param_has_a_generated_flag(self):
+        for key in experiment_ids():
+            definition = get_experiment(key)
+            argv = ["experiment", key]
+            for param in definition.schema:
+                value = (
+                    ",".join(map(str, param.default))
+                    if param.many
+                    else str(param.default)
+                )
+                argv += [param.flag, value]
+            # Unparseable flags would SystemExit here.
+            args = build_parser().parse_args(argv)
             assert args.id == key
 
     def test_population_knobs_parse(self):
@@ -31,12 +64,72 @@ class TestParser:
         )
         assert args.replicates == 4 and args.clients == 20
 
+    def test_common_flags_exist_on_every_id(self):
+        for key in experiment_ids():
+            args = build_parser().parse_args(
+                ["experiment", key, "--jobs", "2", "--ipc", "shm",
+                 "--set", "seed=1", "--save", "out"]
+            )
+            assert args.jobs == "2" and args.ipc == "shm"
+            assert args.set == ["seed=1"] and args.save == "out"
+
+
+class TestSchemaRejectionWall:
+    """Every id rejects every knob its schema does not declare."""
+
+    @pytest.mark.parametrize("experiment_id", _ALL_IDS)
+    def test_unknown_knobs_exit_2(self, experiment_id, capsys):
+        schema = get_experiment(experiment_id).schema
+        rejected = 0
+        for name, (flag, value) in _KNOWN_FLAGS.items():
+            if name in schema:
+                continue
+            code = main(["experiment", experiment_id, flag, value])
+            err = capsys.readouterr().err
+            assert code == 2, (experiment_id, flag)
+            assert flag in err
+            rejected += 1
+        assert rejected > 0  # every id has at least one foreign knob
+
+    @pytest.mark.parametrize("experiment_id", _ALL_IDS)
+    def test_unknown_set_key_exits_2(self, experiment_id, capsys):
+        code = main(["experiment", experiment_id, "--set", "bogus_knob=1"])
+        assert code == 2
+        assert "bogus_knob" in capsys.readouterr().err
+
+    def test_registry_is_exactly_the_ten_experiments(self):
+        assert experiment_ids() == _ALL_IDS
+
+
+class TestHelpSnapshots:
+    """`--help` is generated from the schema — pin the load-bearing
+    content (every schema flag plus the common study flags) per id."""
+
+    @pytest.mark.parametrize("experiment_id", _ALL_IDS)
+    def test_help_lists_every_schema_flag(self, experiment_id, capsys):
+        code = main(["experiment", experiment_id, "--help"])
+        assert code == 0
+        help_text = capsys.readouterr().out
+        for param in get_experiment(experiment_id).schema:
+            assert param.flag in help_text, (experiment_id, param.flag)
+        for common in ("--jobs", "--ipc", "--set", "--grid", "--save"):
+            assert common in help_text
+
+    def test_experiment_overview_lists_ids(self, capsys):
+        code = main(["experiment", "--help"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in out
+
 
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "fig2" in output and "testbed" in output
+        # Registry metadata is rendered: kinds and param lines.
+        assert "[population]" in output and "trials: int" in output
 
     def test_play_quick(self, capsys):
         code = main(
@@ -93,6 +186,48 @@ class TestCommands:
     def test_experiment_fig2_few_trials(self, capsys):
         assert main(["experiment", "fig2", "--trials", "3"]) == 0
         assert "MSPlayer" in capsys.readouterr().out
+
+    def test_set_override_equivalent_to_flag(self, capsys):
+        assert main(["experiment", "fig2", "--trials", "2", "--seed", "77"]) == 0
+        by_flag = capsys.readouterr().out
+        assert main(["experiment", "fig2", "--trials", "2", "--set", "seed=77"]) == 0
+        by_set = capsys.readouterr().out
+        assert by_flag == by_set
+
+    def test_grid_runs_every_cell(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--trials", "2", "--grid", "seed=2014,2015"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("Fig. 2") == 2
+        assert "seed=2014" in out and "seed=2015" in out
+
+    def test_bad_set_syntax_exits_2(self, capsys):
+        code = main(["experiment", "fig2", "--set", "trials"])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_save_archives_study_result(self, tmp_path, capsys):
+        base = tmp_path / "fig1-run"
+        code = main(
+            ["experiment", "fig1", "--thetas", "2.0", "--save", str(base)]
+        )
+        assert code == 0
+        manifest = json.loads(pathlib.Path(f"{base}.json").read_text())
+        assert manifest["experiment"] == "fig1"
+        assert pathlib.Path(f"{base}.npz").exists()
+
+    def test_explicit_jobs_wins_over_broken_repro_jobs_env(self, capsys, monkeypatch):
+        # Engine resolution is lazy: a stale REPRO_JOBS must not poison
+        # runs whose backend was chosen explicitly...
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert main(["experiment", "fig2", "--trials", "1", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        # ...but still fails fast when the env IS the selector.
+        code = main(["experiment", "fig2", "--trials", "1"])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
 
     def test_adaptive_quick(self, capsys):
         code = main(

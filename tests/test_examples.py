@@ -4,8 +4,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -29,7 +27,14 @@ class TestExamples:
     def test_youtube_startup_small(self):
         output = run_example("youtube_startup.py", "3")
         assert "MSPlayer" in output
-        assert "pre-buffer 60 s" in output
+        assert "60 s pre-buffer" in output
+        assert "pre-buffer 60s" in output
+
+    def test_study_sweep(self):
+        output = run_example("study_sweep.py", "2")
+        assert "2 grid cells" in output
+        assert "=== fig2 [seed=2015] ===" in output
+        assert "bit-identical" in output
 
     def test_mobility_robustness(self):
         output = run_example("mobility_robustness.py", "2")

