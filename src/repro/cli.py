@@ -19,6 +19,8 @@ experiment needs zero CLI edits.  Every id additionally accepts:
 
 * ``--jobs`` / ``--ipc`` — execution backend and collection mode
   (uniform across ids; fig1/x3 fan out like everything else);
+* ``--kernel`` — event-kernel selection (``heapq`` / ``calendar`` /
+  ``compiled``); byte-identical results whichever dispatches;
 * ``--set key=value`` — generic schema-validated override (same
   strings the flags take: ``--set chunks=64KB,1MB``);
 * ``--grid key=v1,v2`` — sweep a param across study cells; all cells
@@ -40,6 +42,7 @@ from typing import Sequence
 
 from .core.config import PlayerConfig
 from .errors import ConfigError
+from .net.calendar import KERNELS
 from .ext.adaptive import (
     AdaptiveSimDriver,
     BufferBasedController,
@@ -62,7 +65,7 @@ CONTROLLERS = {
 #: argparse dests reserved by the generated experiment sub-commands; a
 #: schema param may not shadow them (enforced at parser build time).
 _RESERVED_DESTS = frozenset(
-    {"command", "id", "jobs", "ipc", "save", "set", "grid"}
+    {"command", "id", "jobs", "ipc", "kernel", "save", "set", "grid"}
 )
 
 
@@ -128,6 +131,16 @@ def _experiment_parser(sub: argparse._SubParsersAction) -> None:
             "has workers write dense outcome columns into a shared-memory "
             "arena, 'pickle' sends full result objects through the pool "
             "pipe.  Byte-identical either way; sets REPRO_IPC for the run",
+        )
+        parser.add_argument(
+            "--kernel",
+            choices=KERNELS,
+            default=None,
+            help="event-kernel for every simulated environment: 'heapq' "
+            "(default), 'calendar' (bucketed queue), or 'compiled' (C "
+            "extension when built, else calendar).  Dispatch-order "
+            "identical — results are byte-identical whichever runs; "
+            "REPRO_KERNEL env overrides the default",
         )
         parser.add_argument(
             "--set",
@@ -260,10 +273,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
         # engine construction also resolves the ipc mode, and the --ipc
         # override must already be in force while it does.
         from .sim.execution import resolve_engine
-        from .study.study import _ipc_override
+        from .study.study import _ipc_override, _kernel_override
 
         overrides, grid = _experiment_inputs(args)
-        with _ipc_override(args.ipc):
+        with _ipc_override(args.ipc), _kernel_override(args.kernel):
             engine = resolve_engine(args.jobs)
             study = Study(args.id, **overrides)
             if grid:

@@ -1,0 +1,545 @@
+/* Compiled calendar-queue scheduler for the repro event kernel.
+ *
+ * A C mirror of repro.net.calendar.CalendarScheduler with the same
+ * scheduler API (schedule / schedule_resume / schedule_callback / pop /
+ * peek / _counter / _n) and the same (time, priority, FIFO-counter)
+ * total order, so dispatch is bit-identical to the pure-python kernels.
+ * Entries live as C structs (no per-entry Python tuple until pop), and
+ * bucket sorts compare raw doubles/integers instead of Python objects.
+ *
+ * Built best-effort by setup.py (the Extension is `optional`); the
+ * pure-python calendar remains the tested source of truth and the
+ * fallback whenever this module is absent.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define NBUCKETS 512
+#define SPREAD_FRACTION (NBUCKETS / 2)
+
+/* Entry payload kinds; the kind picks the tuple shape built at pop. */
+#define KIND_EVENT 0    /* (t, prio, tie, event, None)    */
+#define KIND_RESUME 1   /* (t, prio, tie, event, process) */
+#define KIND_CALLBACK 2 /* (t, prio, tie, callback)       */
+
+typedef struct {
+    double when;
+    long prio;
+    unsigned long long tie;
+    int kind;
+    PyObject *a; /* event or callback (strong ref) */
+    PyObject *b; /* process (strong ref) or NULL   */
+} Entry;
+
+typedef struct {
+    Entry *items;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} Vec;
+
+typedef struct {
+    PyObject_HEAD
+    Vec buckets[NBUCKETS];
+    char dirty[NBUCKETS];
+    double base;
+    double width;
+    double inv_width;
+    Py_ssize_t cursor;
+    Vec far;
+    double far_min;
+    unsigned long long counter;
+    Py_ssize_t n;
+} Scheduler;
+
+/* -- entry vectors ------------------------------------------------------- */
+
+static int
+vec_push(Vec *vec, Entry entry)
+{
+    if (vec->len == vec->cap) {
+        Py_ssize_t cap = vec->cap ? vec->cap * 2 : 8;
+        Entry *items = PyMem_Realloc(vec->items, (size_t)cap * sizeof(Entry));
+        if (items == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        vec->items = items;
+        vec->cap = cap;
+    }
+    vec->items[vec->len++] = entry;
+    return 0;
+}
+
+static void
+vec_clear_refs(Vec *vec)
+{
+    for (Py_ssize_t i = 0; i < vec->len; i++) {
+        Py_CLEAR(vec->items[i].a);
+        Py_XDECREF(vec->items[i].b);
+        vec->items[i].b = NULL;
+    }
+    vec->len = 0;
+}
+
+static void
+vec_free(Vec *vec)
+{
+    vec_clear_refs(vec);
+    PyMem_Free(vec->items);
+    vec->items = NULL;
+    vec->cap = 0;
+}
+
+/* Descending (when, prio, tie) — pops take from the end.  Ties are
+ * impossible (counters are unique), so the order is total. */
+static int
+entry_cmp_desc(const void *lhs, const void *rhs)
+{
+    const Entry *x = (const Entry *)lhs;
+    const Entry *y = (const Entry *)rhs;
+    if (x->when != y->when)
+        return x->when < y->when ? 1 : -1;
+    if (x->prio != y->prio)
+        return x->prio < y->prio ? 1 : -1;
+    return x->tie < y->tie ? 1 : -1;
+}
+
+/* -- scheduling ---------------------------------------------------------- */
+
+static int
+sched_insert(Scheduler *self, double when, long prio, int kind,
+             PyObject *a, PyObject *b)
+{
+    Entry entry;
+    double offset;
+
+    self->counter += 1;
+    entry.when = when;
+    entry.prio = prio;
+    entry.tie = self->counter;
+    entry.kind = kind;
+    entry.a = Py_NewRef(a);
+    entry.b = b ? Py_NewRef(b) : NULL;
+
+    offset = (when - self->base) * self->inv_width;
+    if (offset < (double)NBUCKETS) {
+        /* Behind-cursor (or behind-base) entries clamp into the cursor
+         * bucket, same as the python kernels; the in-bucket sort
+         * restores their place.  +inf fails the comparison above and
+         * goes far instead of overflowing the cast. */
+        Py_ssize_t index = (Py_ssize_t)offset;
+        if (index < self->cursor)
+            index = self->cursor;
+        if (vec_push(&self->buckets[index], entry) < 0)
+            goto fail;
+        self->dirty[index] = 1;
+    }
+    else {
+        if (vec_push(&self->far, entry) < 0)
+            goto fail;
+        if (when < self->far_min)
+            self->far_min = when;
+    }
+    self->n += 1;
+    return 0;
+
+fail:
+    Py_DECREF(entry.a);
+    Py_XDECREF(entry.b);
+    return -1;
+}
+
+static PyObject *
+sched_schedule(Scheduler *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double when;
+    long prio;
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "schedule expects (when, priority, event)");
+        return NULL;
+    }
+    when = PyFloat_AsDouble(args[0]);
+    if (when == -1.0 && PyErr_Occurred())
+        return NULL;
+    prio = PyLong_AsLong(args[1]);
+    if (prio == -1 && PyErr_Occurred())
+        return NULL;
+    if (sched_insert(self, when, prio, KIND_EVENT, args[2], NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+sched_schedule_resume(Scheduler *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double when;
+    long prio;
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_resume expects (when, priority, event, process)");
+        return NULL;
+    }
+    when = PyFloat_AsDouble(args[0]);
+    if (when == -1.0 && PyErr_Occurred())
+        return NULL;
+    prio = PyLong_AsLong(args[1]);
+    if (prio == -1 && PyErr_Occurred())
+        return NULL;
+    if (sched_insert(self, when, prio, KIND_RESUME, args[2], args[3]) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+sched_schedule_callback(Scheduler *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double when;
+    long prio;
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_callback expects (when, priority, callback)");
+        return NULL;
+    }
+    when = PyFloat_AsDouble(args[0]);
+    if (when == -1.0 && PyErr_Occurred())
+        return NULL;
+    prio = PyLong_AsLong(args[1]);
+    if (prio == -1 && PyErr_Occurred())
+        return NULL;
+    if (sched_insert(self, when, prio, KIND_CALLBACK, args[2], NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* -- dequeue ------------------------------------------------------------- */
+
+/* Advance the window onto the far-future overflow (python _rebase). */
+static int
+sched_rebase(Scheduler *self)
+{
+    Vec far = self->far;
+    double base, latest, span, width, minimum;
+
+    /* sched_advance guarantees far is non-empty with a finite minimum
+     * (the all-inf case is served in place, never rebased). */
+    base = self->far_min;
+    latest = base;
+    for (Py_ssize_t i = 0; i < far.len; i++) {
+        if (far.items[i].when > latest)
+            latest = far.items[i].when;
+    }
+    span = latest - base;
+    if (isfinite(span) && span > 0.0) {
+        /* Brown's width estimate: ~1 entry per bucket for sparse
+         * overflows (width = average inter-event gap), capped at the
+         * spread fraction for dense ones (mirror of calendar.py). */
+        Py_ssize_t spread =
+            far.len > SPREAD_FRACTION ? SPREAD_FRACTION : far.len;
+        width = span / (double)spread;
+    }
+    else
+        width = self->width;
+    minimum = base > 0.0 ? nextafter(base, Py_HUGE_VAL) - base : 0.0;
+    minimum = minimum > 0.0 ? minimum * 4.0 : 1e-12;
+    if (width < minimum)
+        width = minimum;
+    self->base = base;
+    self->width = width;
+    self->inv_width = 1.0 / width;
+    self->cursor = 0;
+    self->far.items = NULL;
+    self->far.len = 0;
+    self->far.cap = 0;
+    self->far_min = Py_HUGE_VAL;
+    for (Py_ssize_t i = 0; i < far.len; i++) {
+        Entry entry = far.items[i];
+        double offset = (entry.when - base) * self->inv_width;
+        Vec *target;
+        if (offset < (double)NBUCKETS) {
+            Py_ssize_t index = (Py_ssize_t)offset;
+            target = &self->buckets[index];
+            self->dirty[index] = 1;
+        }
+        else {
+            target = &self->far;
+            if (entry.when < self->far_min)
+                self->far_min = entry.when;
+        }
+        if (vec_push(target, entry) < 0) {
+            /* Out of memory mid-deal: keep the undealt tail alive in
+             * the far list so no entry's refs are lost. */
+            PyErr_Clear();
+            for (Py_ssize_t j = i; j < far.len; j++) {
+                if (vec_push(&self->far, far.items[j]) < 0) {
+                    Py_DECREF(far.items[j].a);
+                    Py_XDECREF(far.items[j].b);
+                }
+                else if (far.items[j].when < self->far_min) {
+                    self->far_min = far.items[j].when;
+                }
+            }
+            PyMem_Free(far.items);
+            PyErr_NoMemory();
+            return -1;
+        }
+    }
+    PyMem_Free(far.items);
+    return 0;
+}
+
+/* The list to pop from, sorted, guaranteed non-empty (python _advance). */
+static Vec *
+sched_advance(Scheduler *self)
+{
+    Py_ssize_t index = self->cursor;
+    for (;;) {
+        if (index >= NBUCKETS) {
+            if (self->far.len == 0) {
+                PyErr_SetString(PyExc_IndexError,
+                                "pop from an empty scheduler");
+                return NULL;
+            }
+            if (self->far_min == Py_HUGE_VAL) {
+                /* Every pending entry is at +inf: serve the far list
+                 * directly, leaving the window untouched so a later
+                 * finite push lands in a bucket and dispatches first
+                 * (mirror of the python _advance; see calendar.py). */
+                qsort(self->far.items, (size_t)self->far.len, sizeof(Entry),
+                      entry_cmp_desc);
+                return &self->far;
+            }
+            if (sched_rebase(self) < 0)
+                return NULL;
+            index = self->cursor;
+        }
+        if (self->buckets[index].len) {
+            Vec *bucket = &self->buckets[index];
+            self->cursor = index;
+            if (self->dirty[index]) {
+                qsort(bucket->items, (size_t)bucket->len, sizeof(Entry),
+                      entry_cmp_desc);
+                self->dirty[index] = 0;
+            }
+            return bucket;
+        }
+        index += 1;
+    }
+}
+
+static PyObject *
+entry_to_tuple(Entry entry)
+{
+    /* Steals the entry's refs to a/b on success and failure alike. */
+    PyObject *when = PyFloat_FromDouble(entry.when);
+    PyObject *prio = when ? PyLong_FromLong(entry.prio) : NULL;
+    PyObject *tie = prio ? PyLong_FromUnsignedLongLong(entry.tie) : NULL;
+    PyObject *tuple = NULL;
+    if (tie != NULL) {
+        if (entry.kind == KIND_CALLBACK)
+            tuple = PyTuple_Pack(4, when, prio, tie, entry.a);
+        else
+            tuple = PyTuple_Pack(5, when, prio, tie, entry.a,
+                                 entry.b ? entry.b : Py_None);
+    }
+    Py_XDECREF(when);
+    Py_XDECREF(prio);
+    Py_XDECREF(tie);
+    Py_DECREF(entry.a);
+    Py_XDECREF(entry.b);
+    return tuple;
+}
+
+static PyObject *
+sched_pop(Scheduler *self, PyObject *Py_UNUSED(ignored))
+{
+    Vec *bucket;
+    if (self->n == 0) {
+        PyErr_SetString(PyExc_IndexError, "pop from an empty scheduler");
+        return NULL;
+    }
+    bucket = sched_advance(self);
+    if (bucket == NULL)
+        return NULL;
+    self->n -= 1;
+    return entry_to_tuple(bucket->items[--bucket->len]);
+}
+
+static PyObject *
+sched_peek(Scheduler *self, PyObject *Py_UNUSED(ignored))
+{
+    Vec *bucket;
+    if (self->n == 0)
+        return PyFloat_FromDouble(Py_HUGE_VAL);
+    if (self->n == self->far.len)
+        return PyFloat_FromDouble(self->far_min);
+    bucket = sched_advance(self);
+    if (bucket == NULL)
+        return NULL;
+    return PyFloat_FromDouble(bucket->items[bucket->len - 1].when);
+}
+
+/* -- type plumbing ------------------------------------------------------- */
+
+static PyObject *
+sched_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    double width = 0.001;
+    static char *kwlist[] = {"width", NULL};
+    Scheduler *self;
+
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|d", kwlist, &width))
+        return NULL;
+    if (width <= 0.0) {
+        PyErr_Format(PyExc_ValueError, "bucket width must be positive, got %g",
+                     width);
+        return NULL;
+    }
+    self = (Scheduler *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    memset(self->buckets, 0, sizeof(self->buckets));
+    memset(self->dirty, 0, sizeof(self->dirty));
+    self->base = 0.0;
+    self->width = width;
+    self->inv_width = 1.0 / width;
+    self->cursor = 0;
+    self->far.items = NULL;
+    self->far.len = 0;
+    self->far.cap = 0;
+    self->far_min = Py_HUGE_VAL;
+    self->counter = 0;
+    self->n = 0;
+    return (PyObject *)self;
+}
+
+static int
+sched_traverse(Scheduler *self, visitproc visit, void *arg)
+{
+    for (int i = 0; i < NBUCKETS; i++) {
+        Vec *bucket = &self->buckets[i];
+        for (Py_ssize_t j = 0; j < bucket->len; j++) {
+            Py_VISIT(bucket->items[j].a);
+            Py_VISIT(bucket->items[j].b);
+        }
+    }
+    for (Py_ssize_t j = 0; j < self->far.len; j++) {
+        Py_VISIT(self->far.items[j].a);
+        Py_VISIT(self->far.items[j].b);
+    }
+    return 0;
+}
+
+static int
+sched_clear(Scheduler *self)
+{
+    for (int i = 0; i < NBUCKETS; i++)
+        vec_clear_refs(&self->buckets[i]);
+    vec_clear_refs(&self->far);
+    self->n = 0;
+    return 0;
+}
+
+static void
+sched_dealloc(Scheduler *self)
+{
+    PyObject_GC_UnTrack(self);
+    for (int i = 0; i < NBUCKETS; i++)
+        vec_free(&self->buckets[i]);
+    vec_free(&self->far);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+sched_length(Scheduler *self)
+{
+    return self->n;
+}
+
+static PyObject *
+sched_get_counter(Scheduler *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromUnsignedLongLong(self->counter);
+}
+
+static PyObject *
+sched_get_n(Scheduler *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(self->n);
+}
+
+static PyObject *
+sched_get_kernel(Scheduler *Py_UNUSED(self), void *Py_UNUSED(closure))
+{
+    return PyUnicode_FromString("compiled");
+}
+
+static PyMethodDef sched_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))sched_schedule, METH_FASTCALL,
+     "schedule(when, priority, event) -> None"},
+    {"schedule_resume", (PyCFunction)(void (*)(void))sched_schedule_resume,
+     METH_FASTCALL, "schedule_resume(when, priority, event, process) -> None"},
+    {"schedule_callback", (PyCFunction)(void (*)(void))sched_schedule_callback,
+     METH_FASTCALL, "schedule_callback(when, priority, callback) -> None"},
+    {"pop", (PyCFunction)sched_pop, METH_NOARGS,
+     "pop() -> the earliest entry tuple"},
+    {"peek", (PyCFunction)sched_peek, METH_NOARGS,
+     "peek() -> time of the next entry, or inf"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef sched_getset[] = {
+    {"_counter", (getter)sched_get_counter, NULL,
+     "total entries ever scheduled (FIFO tie-breaker)", NULL},
+    {"_n", (getter)sched_get_n, NULL, "entries currently pending", NULL},
+    {"kernel", (getter)sched_get_kernel, NULL, "kernel name", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PySequenceMethods sched_as_sequence = {
+    .sq_length = (lenfunc)sched_length,
+};
+
+static PyTypeObject SchedulerType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.net._ckernel.CalendarScheduler",
+    .tp_doc = "Compiled calendar-queue scheduler (bit-identical dispatch "
+              "order to the pure-python kernels).",
+    .tp_basicsize = sizeof(Scheduler),
+    .tp_itemsize = 0,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = sched_new,
+    .tp_dealloc = (destructor)sched_dealloc,
+    .tp_traverse = (traverseproc)sched_traverse,
+    .tp_clear = (inquiry)sched_clear,
+    .tp_methods = sched_methods,
+    .tp_getset = sched_getset,
+    .tp_as_sequence = &sched_as_sequence,
+};
+
+static PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.net._ckernel",
+    .m_doc = "Compiled event-kernel core (optional; see repro.net.calendar).",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *module;
+    if (PyType_Ready(&SchedulerType) < 0)
+        return NULL;
+    module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    if (PyModule_AddObjectRef(module, "CalendarScheduler",
+                              (PyObject *)&SchedulerType) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -59,7 +59,7 @@ class StubResolver:
             self.hits += 1
             return self._cache[key]
         self.misses += 1
-        yield self.env.timeout(self.lookup_delay)
+        yield self.env.pooled_timeout(self.lookup_delay)
         answer = self._records.get(key)
         if answer is None:
             # Fall back to the network-agnostic record.

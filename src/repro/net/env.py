@@ -1,4 +1,4 @@
-"""The discrete-event environment: clock + scheduling queue.
+"""The discrete-event environment: clock + pluggable scheduling queue.
 
 Usage::
 
@@ -15,16 +15,49 @@ Usage::
 Events scheduled at the same timestamp dispatch in (priority, FIFO)
 order, which keeps co-timed interactions deterministic — essential for
 reproducible experiments.
+
+The pending-event store is a pluggable *scheduler*
+(:mod:`repro.net.calendar`): the seed ``heapq`` kernel, a calendar
+queue, or the optional compiled core, selected per environment via
+``Environment(kernel=...)`` / ``REPRO_KERNEL`` / ``--kernel`` and
+dispatching in a bit-identical total order whichever is active.
+
+Two scheduling lanes exist beside the classic event machinery:
+
+* :meth:`Environment.call_at` / :meth:`Environment.call_later` — the
+  *bare-callback fast lane*: a plain callable is queued with no Event
+  or Timeout allocation at all.  Contract: fast-lane callbacks cannot
+  be waited on, composed, or cancelled — they are for fire-and-forget
+  internal wake-ups (link allocation wake-ups and friends), not for
+  process synchronization (see DESIGN.md "Kernel internals").
+* :meth:`Environment.pooled_timeout` — a recycled timeout event for
+  per-chunk churners (TCP request RTTs, DNS/TLS delays): the event
+  object and its callback list return to a free pool after dispatch.
+  Contract: the caller yields it exactly once, immediately, and never
+  stores, composes, or re-yields it.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..errors import ClockError, SimulationError
-from .events import _URGENT, NORMAL, AllOf, AnyOf, Event, Process, Timeout
+from .calendar import CalendarScheduler, make_scheduler, resolve_kernel
+from .events import (
+    _URGENT,
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    PooledTimeout,
+    Process,
+    Timeout,
+)
 from .simclock import SimClock
+
+#: Pooled timers kept for reuse per environment; beyond this they are
+#: left to the garbage collector (a bound, not a working-set estimate).
+_TIMER_POOL_LIMIT = 128
 
 
 class EmptySchedule(SimulationError):
@@ -32,18 +65,26 @@ class EmptySchedule(SimulationError):
 
 
 class Environment:
-    """Owns simulated time and the pending-event heap."""
+    """Owns simulated time and the pending-event scheduler."""
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, kernel: Optional[str] = None) -> None:
         self._clock = SimClock(start)
-        # Heap entries are (time, priority, tie, event, process).  The
-        # ``process`` slot is normally None; when set, the entry is a
-        # direct resume of ``process`` with the already-processed
-        # ``event`` — allocation-free, and droppable if the process was
-        # resumed by something else (an interrupt) in the meantime.
-        self._queue: list[tuple[float, int, int, Event, Optional[Process]]] = []
-        self._counter = 0  # FIFO tie-breaker for co-timed events
+        #: Resolved kernel name ("heapq", "calendar", or "compiled").
+        self.kernel = resolve_kernel(kernel)
+        self._scheduler = make_scheduler(self.kernel)
+        # Bound hot-path methods, cached once (the scheduler is fixed
+        # for the environment's lifetime): every schedule saves an
+        # attribute chain, which is measurable at fast-lane rates.
+        self._push = self._scheduler.schedule
+        self._push_callback = self._scheduler.schedule_callback
+        if type(self._scheduler) is CalendarScheduler:
+            # Instance-level override: the calendar builds a call_later
+            # with the insert inlined (one call frame per schedule).
+            self.call_later = self._scheduler.make_call_later(
+                self._clock, NORMAL, ClockError
+            )
         self._active_process: Optional[Process] = None
+        self._timer_pool: list[PooledTimeout] = []
 
     # -- time ---------------------------------------------------------------
 
@@ -56,6 +97,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total entries ever scheduled (the FIFO counter's value)."""
+        return self._scheduler._counter
 
     # -- factories ------------------------------------------------------------
 
@@ -79,13 +125,60 @@ class Environment:
         """Condition event firing when all of ``events`` have fired."""
         return AllOf(self, events)
 
+    # -- fast lanes ------------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule a bare ``callback()`` at absolute time ``when``.
+
+        No Event is allocated; the callback cannot be waited on or
+        cancelled.  One validation per schedule happens here (the
+        scheduler itself never re-checks).
+        """
+        if when < self._clock._now:
+            raise ClockError(f"cannot schedule a callback at {when} < now")
+        self._push_callback(when, NORMAL, callback)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a bare ``callback()`` after ``delay`` seconds.
+
+        When the pure-python calendar kernel is active this method is
+        shadowed by an instance-level closure with the scheduler insert
+        inlined (:meth:`CalendarScheduler.make_call_later`) — same
+        contract, one call frame fewer.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule a callback {delay} seconds in the past")
+        self._push_callback(self._clock._now + delay, NORMAL, callback)
+
+    def pooled_timeout(self, delay: float, value: object = None) -> PooledTimeout:
+        """A timeout event drawn from the environment's free pool.
+
+        Behaves like :meth:`timeout` on the scheduling side (same
+        priority, same FIFO-counter bump, so dispatch order is
+        bit-identical) but recycles the event object and its callback
+        list after dispatch.  Internal hot-path use only — the caller
+        must yield it exactly once, immediately; it must never be
+        stored, composed into conditions, or yielded after it fired.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule a timeout {delay} seconds in the past")
+        pool = self._timer_pool
+        if pool:
+            timer = pool.pop()
+            timer._value = value
+            timer.delay = delay
+        else:
+            timer = PooledTimeout(self, delay, value)
+        self._push(self._clock._now + delay, NORMAL, timer)
+        return timer
+
     # -- scheduling (internal API used by events) ----------------------------
 
     def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        if delay < 0:
-            raise ClockError(f"cannot schedule event {delay} seconds in the past")
-        self._counter += 1
-        heapq.heappush(self._queue, (self.now + delay, priority, self._counter, event, None))
+        # Delay validation is the *caller's* job (one validation per
+        # schedule): Timeout.__init__ checks user-supplied delays; every
+        # other internal caller schedules at "now".
+        self._push(self._clock._now + delay, priority, event)
 
     def _schedule_resume(self, process: Process, event: Event) -> None:
         """Urgently redeliver a processed ``event`` straight to ``process``.
@@ -94,27 +187,48 @@ class Environment:
         its callbacks at its own dispatch; this entry only carries its
         outcome to one late waiter.
         """
-        self._counter += 1
-        heapq.heappush(self._queue, (self.now, _URGENT, self._counter, event, process))
+        self._scheduler.schedule_resume(self._clock._now, _URGENT, event, process)
 
     # -- execution ------------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._scheduler.peek()
 
     def step(self) -> None:
         """Dispatch exactly one event (advancing the clock to it)."""
-        if not self._queue:
+        scheduler = self._scheduler
+        if not scheduler._n:
             raise EmptySchedule("no scheduled events")
-        when, _priority, _tie, event, process = heapq.heappop(self._queue)
-        self._clock.advance_to(when)
+        entry = scheduler.pop()
+        self._clock.advance_to(entry[0])
+        self._dispatch(entry)
+
+    def _dispatch(self, entry: tuple) -> None:
+        """Deliver one popped entry.  The run loops inline this body —
+        keep the three copies in sync (the duplication buys the kernel
+        its single largest constant-factor win; see DESIGN.md)."""
+        if len(entry) == 4:
+            entry[3]()  # fast lane: a bare callback, no event at all
+            return
+        event = entry[3]
+        process = entry[4]
         if process is not None:
             # Stale-entry guard: an interrupt may have resumed the
             # process since this entry was queued, moving it to another
             # wait; delivering here would double-resume the generator.
             if process._waiting_on is event:
                 process._resume(event)
+            return
+        if event.__class__ is PooledTimeout:
+            callbacks = event.callbacks
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+                callbacks.clear()
+            pool = self._timer_pool
+            if len(pool) < _TIMER_POOL_LIMIT:
+                pool.append(event)
             return
         callbacks = event.callbacks
         event.callbacks = None  # marks the event processed
@@ -136,8 +250,67 @@ class Environment:
           return its value (re-raising if it failed).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            # The drain loop is the kernel's hottest code: the dispatch
+            # body is inlined (one _dispatch call per event would cost
+            # ~10% of the fast lane's throughput) and hot attributes
+            # are cached in locals.  Mirror of _dispatch — keep in sync.
+            scheduler = self._scheduler
+            clock = self._clock
+            pop = scheduler.pop
+            pool = self._timer_pool
+            # For the pure-python calendar the pop itself is inlined as
+            # well (cursor bucket access, lazy sort): one method call
+            # per event is the next-largest constant after _dispatch.
+            inline_buckets = type(scheduler) is CalendarScheduler
+            if inline_buckets:
+                buckets = scheduler._buckets
+                dirty = scheduler._dirty
+                advance = scheduler._advance
+            while scheduler._n:
+                if inline_buckets:
+                    cursor = scheduler._cursor
+                    bucket = buckets[cursor]
+                    if bucket:
+                        if dirty[cursor]:
+                            bucket.sort(reverse=True)
+                            dirty[cursor] = False
+                    else:
+                        bucket = advance()
+                    scheduler._n -= 1
+                    entry = bucket.pop()
+                else:
+                    entry = pop()
+                when = entry[0]
+                if when < clock._now:
+                    raise ClockError(
+                        f"clock moving backwards: {clock._now} -> {when}"
+                    )
+                clock._now = when
+                if len(entry) == 4:
+                    entry[3]()
+                    continue
+                event = entry[3]
+                process = entry[4]
+                if process is not None:
+                    if process._waiting_on is event:
+                        process._resume(event)
+                    continue
+                if event.__class__ is PooledTimeout:
+                    callbacks = event.callbacks
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                        callbacks.clear()
+                    if len(pool) < _TIMER_POOL_LIMIT:
+                        pool.append(event)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value  # type: ignore[misc]
             return None
 
         if isinstance(until, Event):
@@ -152,12 +325,17 @@ class Environment:
                     raise sentinel._value  # type: ignore[misc]
                 return sentinel.value
             sentinel.callbacks.append(_capture)
+            scheduler = self._scheduler
+            clock = self._clock
+            pop = scheduler.pop
             while not result:
-                if not self._queue:
+                if not scheduler._n:
                     raise EmptySchedule(
                         "event queue drained before the awaited event fired"
                     )
-                self.step()
+                entry = pop()
+                clock.advance_to(entry[0])
+                self._dispatch(entry)
             if not sentinel._ok:
                 sentinel.defused = True
                 raise sentinel._value  # type: ignore[misc]
@@ -166,7 +344,13 @@ class Environment:
         deadline = float(until)
         if deadline < self.now:
             raise ClockError(f"cannot run until {deadline} < now {self.now}")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        scheduler = self._scheduler
+        clock = self._clock
+        peek = scheduler.peek
+        pop = scheduler.pop
+        while scheduler._n and peek() <= deadline:
+            entry = pop()
+            clock.advance_to(entry[0])
+            self._dispatch(entry)
         self._clock.advance_to(deadline)
         return None

@@ -140,6 +140,28 @@ class Timeout(Event):
         raise ProcessError("Timeout cannot fail")
 
 
+class PooledTimeout(Timeout):
+    """A recycled timeout for the kernel's pooled timer lane.
+
+    Created and scheduled only by :meth:`Environment.pooled_timeout`;
+    after dispatch the instance returns to the environment's free pool
+    with its callback list cleared (never set to ``None``, so it never
+    reads as *processed*).  Contract: yield it exactly once,
+    immediately — never store, compose, or re-yield one.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        # Bypasses Timeout.__init__: the environment validates the delay
+        # and schedules the entry itself, both on first construction and
+        # on every reuse from the pool.
+        Event.__init__(self, env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+
+
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 

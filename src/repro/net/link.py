@@ -21,12 +21,23 @@ version counter, so no O(n²) cancellation bookkeeping is needed.
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Callable, Iterator, Optional
+
+import numpy as np
 
 from ..errors import ConfigError, LinkDownError, NetworkError
 from .bandwidth import BandwidthProcess
 from .env import Environment
-from .events import Event, Timeout
+from .events import Event
+
+#: Flow count at and above which the link switches from per-flow Python
+#: arithmetic to one vectorized numpy pass (settlement, allocation, and
+#: completion scheduling).  Below the threshold the scalar code runs so
+#: small experiments keep their historical bit-exact outputs; the two
+#: paths agree to float rounding (reduction order differs), and every
+#: kernel runs the same path for a given flow count.
+_VECTOR_THRESHOLD = 8
 
 
 def max_min_allocation(capacity: float, caps: list[float]) -> list[float]:
@@ -62,6 +73,32 @@ def max_min_allocation(capacity: float, caps: list[float]) -> list[float]:
             for unfrozen in order[position:]:
                 rates[unfrozen] = share
             break
+    return rates
+
+
+def _max_min_allocation_array(capacity: float, caps: "np.ndarray") -> "np.ndarray":
+    """Vectorized water-filling over a cap array (large flow counts).
+
+    Same algorithm as :func:`max_min_allocation` in one numpy pass:
+    with caps sorted ascending every flow before the first cap
+    exceeding its equal share is frozen at its cap, and that first flow
+    and all later ones get the share.  Frozen rates are *copied* from
+    the caps, so ``rate == cap`` comparisons stay bitwise-exact.
+    """
+    n = caps.size
+    order = np.argsort(caps, kind="stable")
+    sorted_caps = caps[order]
+    frozen_before = np.empty(n)
+    frozen_before[0] = 0.0
+    np.cumsum(sorted_caps[:-1], out=frozen_before[1:])
+    shares = (capacity - frozen_before) / np.arange(n, 0, -1)
+    unfrozen = sorted_caps > shares
+    rates_sorted = sorted_caps.copy()
+    if unfrozen.any():
+        first = int(np.argmax(unfrozen))
+        rates_sorted[first:] = shares[first]
+    rates = np.empty(n)
+    rates[order] = rates_sorted
     return rates
 
 
@@ -267,7 +304,19 @@ class Link:
         self._last_settle = now
         if elapsed <= 0:
             return
-        for flow in self._flows:
+        flows = self._flows
+        if len(flows) >= _VECTOR_THRESHOLD:
+            rates = np.array([f.rate for f in flows])
+            remaining = np.array([f.remaining for f in flows])
+            delivered = np.minimum(rates * elapsed, remaining)
+            total = float(delivered.sum())
+            if total > 0.0:
+                remaining -= delivered
+                for flow, left in zip(flows, remaining.tolist()):
+                    flow.remaining = left
+                self.bytes_carried += total
+            return
+        for flow in flows:
             delivered = min(flow.rate * elapsed, flow.remaining)
             if delivered > 0:
                 flow.remaining -= delivered
@@ -313,14 +362,24 @@ class Link:
             self._version += 1
 
         capacity = 0.0 if self._down else self.capacity
-        rates = max_min_allocation(capacity, [f.cap for f in self._flows])
-        for flow, rate in zip(self._flows, rates):
-            flow.rate = rate
-
-        next_event = math.inf
-        for flow in self._flows:
-            if flow.rate > 0:
-                next_event = min(next_event, flow.remaining / flow.rate)
+        flows = self._flows
+        if len(flows) >= _VECTOR_THRESHOLD:
+            caps = np.array([f.cap for f in flows])
+            rate_array = _max_min_allocation_array(capacity, caps)
+            remaining = np.array([f.remaining for f in flows])
+            completion = np.full(len(flows), math.inf)
+            np.divide(remaining, rate_array, out=completion, where=rate_array > 0.0)
+            next_event = float(completion.min())
+            for flow, rate in zip(flows, rate_array.tolist()):
+                flow.rate = rate
+        else:
+            rates = max_min_allocation(capacity, [f.cap for f in flows])
+            next_event = math.inf
+            for flow, rate in zip(flows, rates):
+                flow.rate = rate
+                if rate > 0:
+                    next_event = min(next_event, flow.remaining / rate)
+        for flow in flows:
             # A doubling only changes the allocation while the cap binds
             # (rates are exactly the cap for saturated flows); unbinding
             # caps are advanced analytically at the next state change.
@@ -335,14 +394,15 @@ class Link:
             self._arm_wake(max(next_event, minimum_step))
 
     def _arm_wake(self, delay: float) -> None:
-        """Schedule the next allocation-change wake-up as a bare timeout.
+        """Schedule the next allocation-change wake-up on the fast lane.
 
-        A plain :class:`Timeout` callback replaces the former wake
-        *process*: no generator, no Initialize event — one heap entry
-        per wake.  Stale wake-ups are filtered by the version counter.
+        ``call_later`` queues the bound callback directly: no Timeout,
+        no Event, no lambda — zero allocations beyond the partial, and
+        the same single FIFO-counter bump as the Timeout it replaced,
+        so dispatch order is unchanged.  Stale wake-ups are filtered by
+        the version counter.
         """
-        version = self._version
-        Timeout(self.env, delay).callbacks.append(lambda _event: self._wake(version))
+        self.env.call_later(delay, partial(self._wake, self._version))
 
     def _wake(self, version: int) -> None:
         if version == self._version:

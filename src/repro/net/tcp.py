@@ -133,7 +133,7 @@ class TCPConnection:
     def connect(self):
         """Process: TCP 3-way handshake (one RTT before data can flow)."""
         self._check_usable(allow_unconnected=True)
-        yield self.env.timeout(2.0 * self.latency.sample())
+        yield self.env.pooled_timeout(2.0 * self.latency.sample())
         if self.link.is_down:
             raise LinkDownError(f"{self.name}: link went down during handshake")
         self.connected = True
@@ -143,7 +143,7 @@ class TCPConnection:
         """Process: TLS handshake per the Fig. 1 message sequence."""
         self._check_usable()
         rtt = 2.0 * self.latency.sample()
-        yield self.env.timeout(tls_handshake_duration(rtt, tls, resumed=resumed))
+        yield self.env.pooled_timeout(tls_handshake_duration(rtt, tls, resumed=resumed))
         if self.link.is_down:
             raise LinkDownError(f"{self.name}: link went down during TLS handshake")
         self.secure = True
@@ -196,7 +196,7 @@ class TCPConnection:
             self.request_count += 1
             self._maybe_idle_reset()
             rtt = 2.0 * self.latency.sample()
-            yield self.env.timeout(rtt + max(server_delay, 0.0))
+            yield self.env.pooled_timeout(rtt + max(server_delay, 0.0))
             if self.closed:
                 raise ConnectionClosedError(f"{self.name} closed while waiting")
             if self.link.is_down:

@@ -59,6 +59,7 @@ from typing import (
 
 from ..core.config import PlayerConfig
 from ..errors import ConfigError
+from ..net.calendar import resolve_kernel, set_default_kernel
 from .driver import MSPlayerDriver, SessionOutcome
 from .profiles import NetworkProfile
 from .scenario import Scenario, ScenarioConfig
@@ -248,6 +249,18 @@ def run_unit(spec: WorkSpec):
     return spec.run()
 
 
+def _run_scoped(kernel: str, fn, item):
+    """Worker-side wrapper pinning the parent's event-kernel choice.
+
+    Worker pools are cached across campaigns and fork with whatever
+    environment the *first* campaign saw, so ``REPRO_KERNEL`` cannot be
+    trusted inside a worker — the parent resolves the kernel and ships
+    it with every task instead.
+    """
+    set_default_kernel(kernel)
+    return fn(item)
+
+
 def run_unit_into_arena(arena_name: str, rows: int, item: tuple[int, WorkSpec]):
     """The shm-path work unit: run the spec, store its dense scalars
     at its row of the shared arena (whose layout the spec kind
@@ -426,6 +439,7 @@ class ProcessEngine:
         # The pool is sized (and keyed) by self.jobs, not the batch:
         # idle workers are harmless, and campaigns with varying trial
         # counts then reuse one pool instead of forking per count.
+        fn = partial(_run_scoped, resolve_kernel(), fn)
         try:
             pool = _shared_pool(self.jobs)
             return list(pool.map(fn, items, chunksize=chunksize))

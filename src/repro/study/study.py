@@ -41,6 +41,7 @@ from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import ConfigError
+from ..net.calendar import resolve_kernel, set_default_kernel
 from ..sim.campaign import run_together
 from ..sim.execution import ExecutionEngine, resolve_engine
 from .registry import ExperimentDef, get_experiment
@@ -69,6 +70,26 @@ def _ipc_override(ipc: Optional[str]) -> Iterator[None]:
             os.environ.pop("REPRO_IPC", None)
         else:
             os.environ["REPRO_IPC"] = previous
+
+
+@contextmanager
+def _kernel_override(kernel: Optional[str]) -> Iterator[None]:
+    """Scope a ``--kernel``-style event-kernel override to one run.
+
+    Pins the in-process default (which every ``Environment()`` consults
+    before ``REPRO_KERNEL``) and restores it afterwards.  The process
+    backends re-pin per task from the parent's resolved kernel
+    (:func:`repro.sim.execution._run_scoped`), so the override reaches
+    cached worker pools too.
+    """
+    if kernel is None:
+        yield
+        return
+    previous = set_default_kernel(resolve_kernel(kernel))
+    try:
+        yield
+    finally:
+        set_default_kernel(previous)
 
 
 def _batch_columns(results: Mapping[str, Any]) -> dict[str, dict[str, np.ndarray]]:
@@ -270,15 +291,19 @@ class Study:
         jobs: Union[int, str, ExecutionEngine, None] = None,
         ipc: Optional[str] = None,
         engine: Optional[ExecutionEngine] = None,
+        kernel: Optional[str] = None,
     ) -> StudyResult:
         """Execute every cell as one merged engine submission.
 
         ``jobs``/``ipc`` take the usual values (``resolve_engine`` /
         ``REPRO_IPC`` semantics); an explicit ``engine`` wins over
-        ``jobs``.  Cells are byte-identical to running each alone —
-        the grid only changes scheduling, never outcomes.
+        ``jobs``; ``kernel`` scopes an event-kernel override
+        (``REPRO_KERNEL`` semantics) to this run.  Cells are
+        byte-identical to running each alone — the grid only changes
+        scheduling, never outcomes (and the kernels are dispatch-order
+        identical, so neither does the kernel).
         """
-        with _ipc_override(ipc):
+        with _ipc_override(ipc), _kernel_override(kernel):
             engine = engine if engine is not None else resolve_engine(jobs)
             cell_overrides = self.cells()
             plans = []
@@ -313,6 +338,7 @@ def run_experiment(
     experiment_id: str,
     jobs: Union[int, str, ExecutionEngine, None] = None,
     ipc: Optional[str] = None,
+    kernel: Optional[str] = None,
     **params: Any,
 ):
     """One-shot convenience: run a registered experiment, return its
@@ -322,4 +348,4 @@ def run_experiment(
     (``fig2_prebuffer_testbed(...)`` and friends) delegate here, so the
     legacy call surface and the Study surface are the same code path.
     """
-    return Study(experiment_id, **params).run(jobs=jobs, ipc=ipc).only().result
+    return Study(experiment_id, **params).run(jobs=jobs, ipc=ipc, kernel=kernel).only().result

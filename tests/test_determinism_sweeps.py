@@ -26,6 +26,7 @@ from repro.analysis.experiments import (
     x6_population,
 )
 from repro.sim.execution import ProcessEngine
+from repro.study import run_experiment
 from repro.units import KB
 
 #: jobs values for each collection path (engine instances pass through
@@ -121,4 +122,78 @@ class TestPaperScaleSweeps:
         reference = x6_population(jobs="serial", **kwargs)
         _assert_experiments_identical(
             x6_population(jobs=make_jobs(), **kwargs), reference
+        )
+
+
+# ---------------------------------------------------------------------------
+# Event-kernel equality: REPRO_KERNEL must never change a single byte
+# ---------------------------------------------------------------------------
+
+#: Small per-id overrides so the all-ten wall stays affordable; the
+#: acceptance bar (byte equality) is scale-independent.
+_MINI_PARAMS: dict[str, dict] = {
+    "fig1": {},
+    "fig2": {"trials": 2},
+    "fig3": {"trials": 2, "prebuffers": (20.0,), "chunks": (64 * KB, 256 * KB)},
+    "fig4": {"trials": 2, "prebuffers": (20.0, 40.0)},
+    "fig5": {"trials": 2, "rebuffers": (20.0,), "target_cycles": 2},
+    "table1": {"trials": 2, "durations": (20.0, 40.0)},
+    "x1": {"trials": 2},
+    "x2": {"trials": 2},
+    "x3": {"samples": 200},
+    "x6": {"replicates": 2, "clients": 4},
+}
+
+#: Kernels under test: the seed heapq is the reference; "compiled"
+#: resolves to the C core when built and degrades to the pure-python
+#: calendar otherwise (resolve_kernel semantics), so the leg is
+#: meaningful either way.
+SWEEP_KERNELS = ("calendar", "compiled")
+
+
+def _run_mini(experiment_id, jobs, kernel=None):
+    return run_experiment(experiment_id, jobs=jobs, kernel=kernel, **_MINI_PARAMS[experiment_id])
+
+
+class TestKernelEquality:
+    """fig3/fig5/table1 minis: calendar == heapq, serial and process."""
+
+    @pytest.mark.parametrize("experiment_id", ["fig3", "fig5", "table1"])
+    @pytest.mark.parametrize("kernel", SWEEP_KERNELS)
+    def test_mini_serial(self, experiment_id, kernel):
+        reference = _run_mini(experiment_id, jobs="serial", kernel="heapq")
+        _assert_experiments_identical(
+            _run_mini(experiment_id, jobs="serial", kernel=kernel), reference
+        )
+
+    @pytest.mark.parametrize("experiment_id", ["fig3"])
+    def test_mini_process(self, experiment_id):
+        """The kernel pin must reach (possibly pre-forked, cached) pool
+        workers: the engines ship it per task, not via the environ."""
+        reference = _run_mini(experiment_id, jobs="serial", kernel="heapq")
+        _assert_experiments_identical(
+            _run_mini(experiment_id, jobs=ProcessEngine(2, ipc="shm"), kernel="calendar"),
+            reference,
+        )
+
+
+@pytest.mark.slow
+class TestKernelEqualityAllExperiments:
+    """Every registered experiment, byte-identical across kernels on
+    both the serial and process backends."""
+
+    @pytest.mark.parametrize("experiment_id", sorted(_MINI_PARAMS))
+    @pytest.mark.parametrize("kernel", SWEEP_KERNELS)
+    def test_serial(self, experiment_id, kernel):
+        reference = _run_mini(experiment_id, jobs="serial", kernel="heapq")
+        _assert_experiments_identical(
+            _run_mini(experiment_id, jobs="serial", kernel=kernel), reference
+        )
+
+    @pytest.mark.parametrize("experiment_id", sorted(_MINI_PARAMS))
+    @pytest.mark.parametrize("make_jobs", PARALLEL_BACKENDS)
+    def test_process(self, experiment_id, make_jobs):
+        reference = _run_mini(experiment_id, jobs="serial", kernel="heapq")
+        _assert_experiments_identical(
+            _run_mini(experiment_id, jobs=make_jobs(), kernel="calendar"), reference
         )

@@ -1,0 +1,82 @@
+"""Nightly perf floor: the kernel rewrite must stay a rewrite.
+
+The committed trajectory lives in ``benchmarks/results/
+BENCH_perf_core.json``; this wall is the tripwire that fails a nightly
+run (``pytest -m slow``) if the calendar fast lane regresses back
+toward the seed kernel's throughput.  Floors are live same-machine
+ratios, set well under the recorded margins (~2.5x and ~1.5x at the
+time of writing) so shared-runner noise cannot trip them, while a real
+regression — a lost inline, an accidental allocation on the hot path —
+still does.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.net.calendar import compiled_core
+from repro.net.env import Environment
+
+pytestmark = pytest.mark.slow
+
+
+class _Ticker:
+    __slots__ = ("call_later", "remaining")
+
+    def __init__(self, call_later, remaining):
+        self.call_later = call_later
+        self.remaining = remaining
+
+    def __call__(self):
+        left = self.remaining - 1
+        if left:
+            self.remaining = left
+            self.call_later(0.001, self)
+
+
+def _callback_storm(kernel: str, chains: int = 50, depth: int = 1000) -> float:
+    env = Environment(kernel=kernel)
+    for _ in range(chains):
+        env.call_later(0.001, _Ticker(env.call_later, depth))
+    start = time.perf_counter()
+    env.run()
+    return env.scheduled_count / (time.perf_counter() - start)
+
+
+def _generator_storm(kernel: str, procs: int = 50, timeouts: int = 1000) -> float:
+    def worker(env, n):
+        for _ in range(n):
+            yield env.timeout(0.001)
+
+    env = Environment(kernel=kernel)
+    for _ in range(procs):
+        env.process(worker(env, timeouts))
+    start = time.perf_counter()
+    env.run()
+    return env.scheduled_count / (time.perf_counter() - start)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    return max(fn() for _ in range(repeats))
+
+
+def test_calendar_fast_lane_beats_seed_shape():
+    """Calendar + fast lane vs the seed shape (heapq + generator
+    timeouts), live on this machine: the rewrite's headline ratio."""
+    seed_shape = _best_of(lambda: _generator_storm("heapq"))
+    rewrite = _best_of(lambda: _callback_storm("calendar"))
+    ratio = rewrite / seed_shape
+    assert ratio >= 1.5, f"calendar fast lane regressed to {ratio:.2f}x the seed shape"
+
+
+def test_compiled_core_beats_pure_python():
+    """The compiled calendar must out-dispatch the pure-python one (it
+    exists for no other reason)."""
+    if compiled_core() is None:
+        pytest.skip("compiled core not built on this machine")
+    pure = _best_of(lambda: _callback_storm("calendar"))
+    compiled = _best_of(lambda: _callback_storm("compiled"))
+    ratio = compiled / pure
+    assert ratio >= 1.1, f"compiled core only {ratio:.2f}x the pure-python calendar"

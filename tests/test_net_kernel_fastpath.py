@@ -13,7 +13,7 @@ These pin the microbehaviour the perf work must not change:
 
 import pytest
 
-from repro.errors import ConfigError, Interrupt
+from repro.errors import ClockError, ConfigError, Interrupt
 from repro.net.bandwidth import ConstantBandwidth
 from repro.net.link import Link
 
@@ -232,3 +232,159 @@ class TestClosedFormSlowStart:
         link = self._link(env)
         with pytest.raises(ConfigError):
             link.start_flow(1000, cap=10.0, ramp_rtt=-1.0)
+
+
+class TestCallbackFastLane:
+    """`call_at` / `call_later`: bare callbacks, no Event machinery."""
+
+    def test_call_later_fires_at_time(self, env):
+        fired = []
+        env.call_later(2.5, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [2.5]
+
+    def test_call_at_absolute(self, env):
+        fired = []
+        env.call_at(4.0, lambda: fired.append(env.now))
+        env.call_at(1.0, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [1.0, 4.0]
+
+    def test_past_times_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(ClockError):
+            env.call_at(4.9, lambda: None)
+        with pytest.raises(ClockError):
+            env.call_later(-0.1, lambda: None)
+
+    def test_fifo_with_events_at_same_time(self, env):
+        """Fast-lane entries share the one FIFO counter with events, so
+        co-timed callbacks and timeouts dispatch in schedule order."""
+        order = []
+        env.timeout(1.0).callbacks.append(lambda _e: order.append("timeout-1"))
+        env.call_at(1.0, lambda: order.append("callback-2"))
+        env.timeout(1.0).callbacks.append(lambda _e: order.append("timeout-3"))
+        env.call_later(1.0, lambda: order.append("callback-4"))
+        env.run()
+        assert order == ["timeout-1", "callback-2", "timeout-3", "callback-4"]
+
+    def test_callback_may_schedule_more(self, env):
+        fired = []
+
+        def chain(depth):
+            fired.append((depth, env.now))
+            if depth < 3:
+                env.call_later(1.0, lambda: chain(depth + 1))
+
+        env.call_later(1.0, lambda: chain(0))
+        env.run()
+        assert fired == [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]
+
+    def test_step_dispatches_callbacks(self, env):
+        fired = []
+        env.call_later(1.0, lambda: fired.append(env.now))
+        env.step()
+        assert fired == [1.0] and env.now == 1.0
+
+
+class TestPooledTimers:
+    """`pooled_timeout`: recycled events for the per-chunk hot path."""
+
+    def test_behaves_like_timeout(self, env):
+        def proc(env):
+            yield env.pooled_timeout(1.5)
+            return env.now
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == 1.5
+
+    def test_value_delivery(self, env):
+        def proc(env):
+            got = yield env.pooled_timeout(1.0, value="payload")
+            return got
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == "payload"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ClockError):
+            env.pooled_timeout(-1.0)
+
+    def test_instances_recycle(self, env):
+        """Back-to-back pooled timers run out of a bounded working set:
+        the generator draws its next timer *during* the old one's
+        dispatch (which recycles only afterwards), so a chain
+        alternates between two instances — and never allocates a third,
+        however long it runs."""
+        seen = []
+
+        def proc(env):
+            for _ in range(50):
+                timer = env.pooled_timeout(1.0)
+                seen.append(id(timer))
+                yield timer
+
+        env.process(proc(env))
+        env.run()
+        assert len(set(seen)) == 2
+        assert len(env._timer_pool) == 2  # both returned once the chain ends
+
+    def test_sequential_processes_share_pool(self, env):
+        def proc(env, count):
+            for _ in range(count):
+                yield env.pooled_timeout(0.5)
+
+        env.process(proc(env, 30))
+        env.process(proc(env, 30))
+        env.run()
+        # Two concurrent waiters keep at most two timers in flight plus
+        # a small recycling margin — the pool never grows with the
+        # number of exchanges.
+        assert len(env._timer_pool) <= 3
+
+    def test_interrupt_while_on_pooled_timer(self, env):
+        """An interrupted waiter deregisters; the timer still fires
+        harmlessly, recycles, and serves the next request."""
+        trace = []
+
+        def sleeper(env):
+            try:
+                yield env.pooled_timeout(10.0)
+                trace.append("slept")
+            except Interrupt:
+                trace.append(("interrupted", env.now))
+                yield env.pooled_timeout(1.0)
+                trace.append(("resumed", env.now))
+
+        process = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(2.0)
+            process.interrupt("wake")
+
+        env.process(interrupter(env))
+        env.run()
+        assert trace == [("interrupted", 2.0), ("resumed", 3.0)]
+
+    def test_counter_parity_with_plain_timeout(self):
+        """One counter bump per pooled timer — the same schedule count a
+        plain Timeout produces, so dispatch order never shifts."""
+        from repro.net.env import Environment
+
+        def run(pooled):
+            env = Environment()
+
+            def proc(env):
+                for _ in range(5):
+                    if pooled:
+                        yield env.pooled_timeout(1.0)
+                    else:
+                        yield env.timeout(1.0)
+
+            env.process(proc(env))
+            env.run()
+            return env.scheduled_count
+
+        assert run(pooled=True) == run(pooled=False)
