@@ -50,6 +50,14 @@ setup(
             "pytest>=7.0",
             "pytest-benchmark>=4.0",
         ],
+        # The static-analysis toolchain (CI's static-analysis job and
+        # the pre-commit hooks).  `repro lint` itself is stdlib-only;
+        # mypy drives the strict-typing ratchet and ruff the style
+        # families selected in pyproject.toml.
+        "lint": [
+            "mypy>=1.8",
+            "ruff>=0.4",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -27,7 +27,8 @@ same byte-identity bar as every campaign:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, NamedTuple, Sequence
+from collections.abc import Sequence
+from typing import ClassVar, NamedTuple
 
 import numpy as np
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Mapping, Union
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -70,7 +70,7 @@ from .tables import format_table, render_distribution_rows
 PAPER_TRIALS = 20
 
 #: Type of the ``jobs`` knob shared by the compatibility wrappers.
-Jobs = Union[int, str, None]
+Jobs = int | str | None
 
 #: Schedulers a sweep may select (everything ``make_scheduler`` knows).
 SCHEDULER_CHOICES = ("harmonic", "ewma", "ratio", "last", "window")

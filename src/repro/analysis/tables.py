@@ -7,7 +7,7 @@ same information as aligned tables plus ASCII box-whisker strips, so a
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..errors import ConfigError
 from .stats import Summary, summarize

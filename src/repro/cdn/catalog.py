@@ -113,4 +113,4 @@ class Catalog:
         ranks[order] = np.arange(1, len(ids) + 1)
         weights = ranks ** (-zipf_s)
         weights /= weights.sum()
-        return dict(zip(ids, weights.tolist()))
+        return dict(zip(ids, weights.tolist(), strict=True))

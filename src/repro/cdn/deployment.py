@@ -10,7 +10,7 @@ server-selection pools, all wired onto a :class:`~repro.net.topology.Network`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

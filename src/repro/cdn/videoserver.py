@@ -20,7 +20,7 @@ Behavioural details that matter to the experiments:
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import RangeError, TokenError, VideoNotFoundError
 from ..http.messages import Request, Response

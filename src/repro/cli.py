@@ -8,7 +8,9 @@ Commands:
   table1, x1…x3, x6) and print the panel;
 * ``adaptive`` — run the DASH-extension player with a chosen controller;
 * ``list`` — show available experiments (from the registry) and
-  profiles.
+  profiles;
+* ``lint`` — run the AST-based determinism/invariant analyzer
+  (:mod:`repro.lint`) over source paths.
 
 The ``experiment`` surface is *generated from the study registry*
 (:mod:`repro.study`): each experiment id is a sub-command whose flags
@@ -38,11 +40,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from .core.config import PlayerConfig
 from .errors import ConfigError
 from .net.calendar import KERNELS
+from .lint.cli import add_lint_parser, command_lint
 from .ext.adaptive import (
     AdaptiveSimDriver,
     BufferBasedController,
@@ -198,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--itag", type=int, default=22, help="fixed controller's itag")
 
     sub.add_parser("list", help="list experiments and profiles")
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -325,11 +330,20 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    try:
+        return command_lint(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 _HANDLERS = {
     "play": _command_play,
     "experiment": _command_experiment,
     "adaptive": _command_adaptive,
     "list": _command_list,
+    "lint": _command_lint,
 }
 
 

@@ -46,6 +46,18 @@ class BufferPhase(enum.Enum):
 class PlayoutBuffer:
     """Buffer state machine; emits fetch-ON/OFF decisions."""
 
+    __slots__ = (
+        "config",
+        "video_duration_s",
+        "level_s",
+        "playhead_s",
+        "phase",
+        "cycle_fetched_s",
+        "download_complete",
+        "phase_entered_at",
+        "transitions",
+    )
+
     def __init__(self, config: PlayerConfig, video_duration_s: float) -> None:
         if video_duration_s <= 0:
             raise ConfigError("video duration must be positive")
@@ -108,7 +120,7 @@ class PlayoutBuffer:
         """Advance playback by up to ``dt`` seconds; returns seconds played."""
         if dt < 0:
             raise BufferError_(f"negative tick {dt}")
-        if not self.playing or dt == 0.0:
+        if not self.playing or dt <= 0.0:
             return 0.0
         played = min(dt, self.level_s, self.video_duration_s - self.playhead_s)
         self.playhead_s += played

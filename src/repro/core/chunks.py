@@ -29,7 +29,7 @@ from ..errors import PlayerError
 from ..http.ranges import ByteRange
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Assignment:
     """A chunk handed to a path for fetching."""
 
@@ -39,6 +39,17 @@ class Assignment:
 
 class ChunkLedger:
     """Byte-range bookkeeping for one video download."""
+
+    __slots__ = (
+        "total_bytes",
+        "contiguous_frontier",
+        "_assign_frontier",
+        "_in_flight",
+        "_out_of_order",
+        "_requeue",
+        "peak_out_of_order",
+        "bytes_by_path",
+    )
 
     def __init__(self, total_bytes: int) -> None:
         if total_bytes <= 0:

@@ -131,7 +131,9 @@ class QoEMetrics:
             counts = {
                 k: self.prebuffer_bytes_by_path.get(k, 0)
                 + self.rebuffer_bytes_by_path.get(k, 0)
-                for k in set(self.prebuffer_bytes_by_path) | set(self.rebuffer_bytes_by_path)
+                for k in sorted(
+                    set(self.prebuffer_bytes_by_path) | set(self.rebuffer_bytes_by_path)
+                )
             }
         else:
             raise ValueError(f"unknown phase {phase!r}")

@@ -152,7 +152,7 @@ class AdaptiveOutcome:
 
     @property
     def switches(self) -> int:
-        return sum(1 for a, b in zip(self.itag_history, self.itag_history[1:]) if a != b)
+        return sum(1 for a, b in zip(self.itag_history, self.itag_history[1:], strict=False) if a != b)
 
     @property
     def mean_bitrate_bps(self) -> float:
@@ -259,7 +259,7 @@ class AdaptiveSimDriver:
             return
         while not self._finish.triggered and not self._download_complete():
             if not self.buffer.fetch_on or self._next_to_schedule >= self._segment_count:
-                yield env.timeout(self.config.tick_s)
+                yield env.pooled_timeout(self.config.tick_s)
                 continue
             index = self._next_to_schedule
             self._next_to_schedule += 1
@@ -381,7 +381,7 @@ class AdaptiveSimDriver:
         env = self.scenario.env
         tick = self.config.tick_s
         while not self._finish.triggered:
-            yield env.timeout(tick)
+            yield env.pooled_timeout(tick)
             previous = self.buffer.phase
             self.buffer.on_tick(tick, env.now)
             self._note_transitions(previous, env.now)
@@ -413,7 +413,7 @@ class AdaptiveSimDriver:
             self.metrics.end_stall(now)
 
     def _watchdog(self):
-        yield self.scenario.env.timeout(self.max_sim_time)
+        yield self.scenario.env.pooled_timeout(self.max_sim_time)
         self._finish_once("timeout")
 
     def _finish_once(self, reason: str) -> None:

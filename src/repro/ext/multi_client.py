@@ -197,7 +197,7 @@ class MultiClientExperiment:
         # Stagger client arrivals over a couple of seconds, as a flash
         # crowd would arrive, then launch them in one environment.
         def _staggered_launch(driver: MSPlayerDriver, delay: float):
-            yield env.timeout(delay)
+            yield env.pooled_timeout(delay)
             driver.launch()
 
         for driver in drivers:

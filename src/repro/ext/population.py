@@ -44,7 +44,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, ClassVar, NamedTuple, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import ClassVar, NamedTuple
 
 import numpy as np
 
@@ -138,7 +139,10 @@ class PopulationSideRecord(NamedTuple):
             outcomes=[
                 rebuild_outcome(side, finished_at, failovers)
                 for side, finished_at, failovers in zip(
-                    self.client_sides, self.client_finished_at, self.client_failovers
+                    self.client_sides,
+                    self.client_finished_at,
+                    self.client_failovers,
+                    strict=True,
                 )
             ],
             server_bytes=dict(self.server_bytes),
@@ -176,7 +180,7 @@ class PopulationSpec:
     client_count: int
     profile_factory: Callable[[], NetworkProfile]
     video_duration_s: float = 120.0
-    overload_threshold: Optional[int] = 2
+    overload_threshold: int | None = 2
     player_config: PlayerConfig = field(default_factory=PlayerConfig)
     stop: str = "prebuffer"
 
@@ -317,9 +321,9 @@ class PopulationResult:
     def __init__(
         self,
         label: str,
-        results: Optional[list[MultiClientResult]] = None,
-        batch: Optional[PopulationBatch] = None,
-        result_thunk: Optional[Callable[[], list[MultiClientResult]]] = None,
+        results: list[MultiClientResult] | None = None,
+        batch: PopulationBatch | None = None,
+        result_thunk: Callable[[], list[MultiClientResult]] | None = None,
     ) -> None:
         if batch is not None and results is None and result_thunk is None:
             raise ConfigError(

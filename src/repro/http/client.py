@@ -14,7 +14,6 @@ server failure) evicts it so the next request redials.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..errors import HTTPStatusError, NetworkError
 from ..net.env import Environment
@@ -31,8 +30,8 @@ class ClientSession:
         self.connection = connection
         self.host = host
         #: Timing of the session establishment, for Fig. 1 style traces.
-        self.connected_at: Optional[float] = None
-        self.secured_at: Optional[float] = None
+        self.connected_at: float | None = None
+        self.secured_at: float | None = None
 
     @property
     def usable(self) -> bool:

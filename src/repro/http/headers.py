@@ -8,7 +8,7 @@ video service only needs single values.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from ..errors import HTTPParseError
 

@@ -14,7 +14,7 @@ One message class pair serves three consumers:
 from __future__ import annotations
 
 import json
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..errors import HTTPParseError
 from .headers import Headers

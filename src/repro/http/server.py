@@ -16,7 +16,8 @@ unit-testable without an event loop.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 from ..errors import ConfigError
 from ..net.topology import Host

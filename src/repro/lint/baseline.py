@@ -1,0 +1,116 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets ``repro lint`` adopt a new rule without a flag day:
+pre-existing findings are recorded in ``replint-baseline.json`` and no
+longer fail the build, while *new* findings of the same rule do.  The
+expected workflow is a ratchet — entries are removed as code is fixed
+and only added (with a justification in review) for deliberate
+exemptions that would be noisy as inline waivers.
+
+Matching is by ``(rule, path, stripped source line)``, not line number:
+unrelated edits move code around without invalidating the baseline,
+while editing the offending line itself re-surfaces the finding.
+Identical lines in one file fold into a multiset (a ``count`` per key).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from ..errors import ConfigError
+from .findings import Finding
+
+#: Bump when the baseline file layout changes shape.
+BASELINE_VERSION = 1
+
+#: Default baseline location, resolved against the working directory.
+DEFAULT_BASELINE = "replint-baseline.json"
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, counts: Counter | None = None) -> None:
+        self._counts: Counter = Counter(counts or ())
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int, list[tuple]]:
+        """Split findings into (fresh, baselined_count, stale_entries).
+
+        ``fresh`` keeps the original sort order.  ``stale_entries`` are
+        baseline keys with no matching finding any more — fixed code
+        whose entries should be pruned (``--write-baseline``).
+        """
+        remaining = Counter(self._counts)
+        fresh: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = finding.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                fresh.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return fresh, baselined, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable baseline {path}: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path}: expected version {BASELINE_VERSION}, "
+            f"got {payload.get('version')!r}"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("findings", ()):
+        try:
+            key = (entry["rule"], entry["path"], entry["context"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(f"baseline {path}: malformed entry {entry!r}") from exc
+        counts[key] += count
+    return Baseline(counts)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count.
+
+    Entries are aggregated by key and sorted, so the file is stable
+    under reordering and friendly to diffs; a representative line
+    number rides along for human navigation only.
+    """
+    counts: Counter = Counter()
+    lines: dict[tuple, int] = {}
+    for finding in findings:
+        key = finding.key()
+        counts[key] += 1
+        lines.setdefault(key, finding.line)
+    entries = [
+        {
+            "rule": rule,
+            "path": file_path,
+            "context": context,
+            "line": lines[(rule, file_path, context)],
+            "count": counts[(rule, file_path, context)],
+        }
+        for rule, file_path, context in sorted(counts)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())

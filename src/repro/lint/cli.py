@@ -1,0 +1,155 @@
+"""The ``repro lint`` sub-command.
+
+Exit codes follow the repo's ``main()`` conventions: ``0`` — no
+unbaselined findings; ``1`` — findings to fix; ``2`` — usage error
+(bad path, unknown rule id, malformed baseline).  ``--format json``
+emits the versioned document from :mod:`repro.lint.findings` for CI
+annotation tooling; the human format is one ``path:line:col: RULE
+message`` line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+from typing import TextIO
+
+from .base import all_rules
+from .baseline import DEFAULT_BASELINE, Baseline, load_baseline, write_baseline
+from .engine import LintReport, run_lint
+from .findings import render_json
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``lint`` sub-command to the top-level CLI parser."""
+    parser = sub.add_parser(
+        "lint",
+        help="run the determinism/invariant static analyzer",
+        description="AST-based analysis encoding the repo's runtime "
+        "invariants (bit-identical backends, worker pickle protocol, "
+        "kernel fast-lane discipline) as machine-checked rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json is versioned; see DESIGN.md)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE]",
+        help="restrict to the named rule ids; repeatable",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report everything)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the registered rules and exit",
+    )
+
+
+def _list_rules(out: TextIO) -> int:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.title}", file=out)
+        print(f"        {rule.rationale}", file=out)
+    return 0
+
+
+def _render_human(report: LintReport, out: TextIO) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
+        f" ({report.baselined} baselined, {report.waived} waived)"
+    )
+    print(summary, file=out)
+    for rule_id, path, context in report.stale_baseline:
+        print(
+            f"stale baseline entry: {rule_id} {path} {context!r} "
+            "(fixed? refresh with --write-baseline)",
+            file=sys.stderr,
+        )
+
+
+def command_lint(args: argparse.Namespace) -> int:
+    """Handler for ``repro lint``; returns the process exit code."""
+    if args.list_rules:
+        return _list_rules(sys.stdout)
+    select: list[str] = []
+    for blob in args.select:
+        select.extend(token for token in blob.split(",") if token.strip())
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        report = run_lint(args.paths, select=select, baseline=None)
+        count = write_baseline(baseline_path, report.findings)
+        print(
+            f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+            f"to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        baseline = load_baseline(baseline_path)
+    report = run_lint(args.paths, select=select, baseline=baseline)
+
+    if args.format == "json":
+        sys.stdout.write(
+            render_json(
+                report.findings,
+                baselined=report.baselined,
+                waived=report.waived,
+            )
+        )
+    else:
+        _render_human(report, sys.stdout)
+    return 0 if report.clean else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(sub)
+    try:
+        args = parser.parse_args(["lint", *(argv if argv is not None else sys.argv[1:])])
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
+    from ..errors import ConfigError
+
+    try:
+        return command_lint(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,151 @@
+"""The analysis engine: walk files, parse, run rules, filter findings.
+
+One :func:`run_lint` call is one analysis run: it resolves the target
+paths to a sorted list of python files (sorted so finding order — and
+therefore output and baselines — is deterministic across filesystems),
+parses each once, hands the tree to every selected rule, and applies
+the waiver and baseline filters.  Rules never see waivers or the
+baseline; the engine owns all filtering so rule implementations stay
+pure functions of the source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+import ast
+
+from ..errors import ConfigError
+from .base import ModuleContext, Rule, rule_ids, select_rules
+from .baseline import Baseline
+from .findings import Finding
+from .waivers import parse_waivers
+
+#: Directories never descended into when expanding a directory target.
+_SKIPPED_DIRS = frozenset(
+    {".git", ".hypothesis", ".benchmarks", "__pycache__", "build", "dist"}
+)
+
+#: Pseudo-rule id for unparsable files (not waivable, not registrable).
+PARSE_ERROR_RULE = "PARSE"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)  #: unbaselined, sorted
+    baselined: int = 0
+    waived: int = 0
+    stale_baseline: list[tuple] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand targets to a sorted, de-duplicated list of ``.py`` files."""
+    files: set[Path] = set()
+    for target in paths:
+        path = Path(target)
+        if path.is_file():
+            if path.suffix != ".py":
+                raise ConfigError(f"not a python file: {path}")
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        else:
+            raise ConfigError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def _relative_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule], root: Path | None = None
+) -> tuple[list[Finding], int]:
+    """Analyze one file: returns (kept findings, waived count)."""
+    rel = _relative_posix(path, root or Path.cwd())
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"unreadable file {path}: {exc}") from None
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {exc.msg}",
+            context=(exc.text or "").strip(),
+        )
+        return [finding], 0
+
+    context = ModuleContext(path=rel, tree=tree, lines=lines)
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(context))
+
+    waivers = parse_waivers(lines)
+    kept = [f for f in raw if not waivers.waives(f)]
+    return kept, len(raw) - len(kept)
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Run the full analysis over ``paths``.
+
+    ``select`` restricts to the named rule ids (unknown ids are a
+    :class:`~repro.errors.ConfigError` — a typo'd selection silently
+    checking nothing is worse than failing).  ``baseline`` filters
+    grandfathered findings; ``root`` anchors the repo-relative paths in
+    reports (defaults to the working directory).
+    """
+    if select:
+        wanted = {token.upper() for token in select}
+        unknown = wanted - set(rule_ids())
+        if unknown:
+            raise ConfigError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(rule_ids())}"
+            )
+        rules = select_rules(lambda rule_id: rule_id in wanted)
+    else:
+        rules = select_rules()
+
+    report = LintReport()
+    all_findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings, waived = lint_file(path, rules, root=root)
+        all_findings.extend(findings)
+        report.waived += waived
+        report.files_checked += 1
+    all_findings.sort()
+
+    if baseline is not None:
+        fresh, baselined, stale = baseline.apply(all_findings)
+        report.findings = fresh
+        report.baselined = baselined
+        report.stale_baseline = stale
+    else:
+        report.findings = all_findings
+    return report

@@ -1,0 +1,75 @@
+"""The :class:`Finding` record and its JSON wire format.
+
+A finding is one rule violation at one source location.  Findings are
+value objects: the engine produces them, the waiver/baseline layers
+filter them, and the CLI renders them — nothing mutates one after
+creation.
+
+The JSON output schema (``repro lint --format json``) is versioned so
+downstream tooling (CI annotations, dashboards) can detect drift::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "DET001", "path": "src/repro/net/x.py",
+         "line": 12, "col": 5, "message": "...", "context": "import random"},
+        ...
+      ],
+      "counts": {"total": 1, "baselined": 0, "waived": 0}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from collections.abc import Sequence
+
+#: Bump when the JSON output layout changes shape (not when rules are
+#: added — the findings list is open-ended by design).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sort order is (path, line, col, rule) — the field declaration order
+    below — so rendered reports are stable across runs and platforms.
+    """
+
+    path: str  #: repo-relative posix path of the offending file
+    line: int  #: 1-based line number
+    col: int  #: 0-based column offset (ast convention)
+    rule: str  #: rule identifier, e.g. ``"DET001"``
+    message: str  #: human-readable explanation
+    context: str  #: stripped source text of the offending line
+
+    def render(self) -> str:
+        """The canonical one-line human format: ``path:line:col: RULE msg``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers churn, source text does not.
+
+        Two findings are "the same" for baseline purposes when the rule,
+        the file, and the stripped offending line all match; the line
+        number is carried for display only.
+        """
+        return (self.rule, self.path, self.context)
+
+
+def render_json(
+    findings: Sequence[Finding], *, baselined: int = 0, waived: int = 0
+) -> str:
+    """Serialize findings to the versioned JSON document (sorted)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [asdict(f) for f in sorted(findings)],
+        "counts": {
+            "total": len(findings),
+            "baselined": baselined,
+            "waived": waived,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

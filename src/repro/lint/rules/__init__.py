@@ -1,0 +1,10 @@
+"""Rule plugins.  Importing this package registers every built-in rule.
+
+Adding a rule = adding a module here that defines a
+:class:`~repro.lint.base.Rule` subclass decorated with
+:func:`~repro.lint.base.rule`, and importing it below.  The registry is
+keyed by rule id; ids are ``FAMILY###`` (DET = determinism, WRK =
+worker protocol, KER = kernel discipline, SLT = slots/footprint).
+"""
+
+from . import det001, det002, det003, ker001, slt001, wrk001  # noqa: F401

@@ -1,0 +1,168 @@
+"""DET002 — no bare iteration over sets on deterministic paths.
+
+``set`` iteration order is a function of element hashes and insertion
+history — stable within one process, but not something scheduling,
+demux, or aggregation code may depend on (hash randomization is
+disabled for strings here only because the test harness pins
+``PYTHONHASHSEED`` in CI; int-heavy sets reorder under growth
+patterns).  Anything order-sensitive must wrap the set in ``sorted()``
+before iterating; order-*insensitive* reductions (``sum``, ``min``,
+``max``, ``len``, ``any``, ``all``) are fine and not flagged.
+
+Dict iteration is insertion-ordered and therefore deterministic when
+insertion is; it is deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..base import ModuleContext, Rule, rule
+from ..findings import Finding
+
+_SET_BUILTINS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+#: Iteration wrappers that preserve (and therefore leak) set order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "iter", "enumerate"}
+#: Consumers whose result is independent of traversal order, so a
+#: comprehension feeding them may iterate a set bare.  ``sum`` is
+#: deliberately absent: float addition is not associative, so summing a
+#: set in hash order is exactly the last-ulp hazard this rule exists
+#: to catch.
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "min",
+    "max",
+    "len",
+    "any",
+    "all",
+}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _collect_set_names(tree: ast.Module) -> frozenset[str]:
+    """Names statically assigned a set-typed value anywhere in the file.
+
+    Name-level (not scope-aware) on purpose: a helper that rebinds
+    ``pending`` from a set in one scope and a list in another is exactly
+    the ambiguity this rule wants surfaced for an explicit ``sorted()``.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is not None and _is_set_expr(value, frozenset()):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+def _is_set_expr(node: ast.expr, set_names: frozenset[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_BUILTINS:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+@rule
+class UnsortedSetIteration(Rule):
+    id = "DET002"
+    title = "set iteration feeding order-sensitive code must be sorted()"
+    rationale = (
+        "set order is hash- and history-dependent; scheduling, demux, and "
+        "aggregation loops must impose an explicit total order (sorted) or "
+        "use an order-insensitive reduction."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_deterministic_path():
+            return
+        set_names = _collect_set_names(ctx.tree)
+
+        def is_set(node: ast.expr) -> bool:
+            return _is_set_expr(node, set_names)
+
+        # Comprehensions consumed by an order-insensitive reduction
+        # (e.g. ``sorted(k.__name__ for k in kinds)``) are exempt: the
+        # consumer erases the traversal order.
+        exempt_iters: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE_CALLS
+            ):
+                for argument in node.args:
+                    if isinstance(
+                        argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        for comp in argument.generators:
+                            exempt_iters.add(id(comp.iter))
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and is_set(node.iter):
+                yield ctx.finding(
+                    self.id,
+                    node.iter,
+                    "bare for-loop over a set; wrap the iterable in sorted() "
+                    "to fix the traversal order",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if is_set(comp.iter) and id(comp.iter) not in exempt_iters:
+                        yield ctx.finding(
+                            self.id,
+                            comp.iter,
+                            "comprehension over a set; wrap the iterable in "
+                            "sorted() to fix the traversal order",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and is_set(node.args[0])
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{func.id}() materializes set order; use sorted() "
+                        "to fix it explicitly",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "pop"
+                    and not node.args
+                    and is_set(func.value)
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "set.pop() removes a hash-order-dependent element; "
+                        "pop from a sorted list instead",
+                    )

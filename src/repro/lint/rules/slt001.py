@@ -1,0 +1,123 @@
+"""SLT001 — hot-path classes must declare ``__slots__``.
+
+Event-kernel throughput is dominated by object churn: events, timers,
+flow handles, and per-chunk ledger records are allocated at fast-lane
+rates (millions/minute), and a per-instance ``__dict__`` roughly
+doubles their footprint and dirties the allocator.  PR 1 measured the
+``__slots__`` sweep as a double-digit win on the TCP micro-benchmark —
+this rule keeps new classes in ``net/`` and the ``core/buffer`` /
+``core/chunks`` ledgers from silently regressing it.
+
+Exempt: exceptions (message payload lives in ``BaseException``),
+``Protocol`` / ABC interfaces, ``Enum`` family, ``NamedTuple`` /
+``TypedDict``, and ``@dataclass(slots=True)`` (which generates the
+declaration).  A plain ``@dataclass`` is flagged with a pointer at
+``slots=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..base import ModuleContext, Rule, rule
+from ..findings import Finding
+
+_EXEMPT_BASE_SUFFIXES = (
+    "Exception",
+    "Error",
+    "Warning",
+    "Protocol",
+    "Enum",
+    "Flag",
+    "NamedTuple",
+    "TypedDict",
+    "ABC",
+)
+
+
+def _terminal(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Protocol[T], Generic[T]
+        return _terminal(node.value)
+    return ""
+
+
+def _declares_slots(class_def: ast.ClassDef) -> bool:
+    for statement in class_def.body:
+        if isinstance(statement, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == "__slots__"
+                for target in statement.targets
+            ):
+                return True
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_decorator(class_def: ast.ClassDef) -> tuple[bool, bool]:
+    """(is_dataclass, has_slots_true) from the decorator list."""
+    for decorator in class_def.decorator_list:
+        if _terminal(decorator) == "dataclass":
+            return True, False
+        if isinstance(decorator, ast.Call) and _terminal(decorator.func) == "dataclass":
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True, True
+            return True, False
+    return False, False
+
+
+@rule
+class MissingSlots(Rule):
+    id = "SLT001"
+    title = "hot-module classes must declare __slots__"
+    rationale = (
+        "net/ and core/buffer|chunks objects are allocated at event-kernel "
+        "rates; a per-instance __dict__ doubles their footprint and costs "
+        "double-digit throughput (PR 1 measurements)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_hot_path():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if any(
+                _terminal(base).endswith(_EXEMPT_BASE_SUFFIXES)
+                for base in node.bases
+            ):
+                continue
+            if node.keywords:  # metaclass=ABCMeta and friends
+                continue
+            if _declares_slots(node):
+                continue
+            is_dataclass, has_slots = _dataclass_decorator(node)
+            if is_dataclass and has_slots:
+                continue
+            if is_dataclass:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"dataclass {node.name!r} in a hot module without "
+                    "slots=True; add @dataclass(slots=True)",
+                )
+            else:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"class {node.name!r} in a hot module without __slots__; "
+                    "declare them (or inherit a slotted base and declare "
+                    "__slots__ = ())",
+                )

@@ -1,0 +1,69 @@
+"""Inline waiver comments: ``# replint: disable=RULE[,RULE...]``.
+
+A waiver suppresses findings of the named rules on the physical line
+carrying the comment.  ``# replint: disable-file=RULE`` (anywhere in
+the file) suppresses a rule for the whole module — reserved for cases
+where the exemption is a property of the module, not one statement
+(e.g. a compatibility shim).  ``all`` waives every rule.
+
+Waivers are for *intentional, explained* exemptions: the comment should
+sit next to a justification.  Bulk grandfathering of pre-existing
+findings belongs in the baseline file instead
+(:mod:`repro.lint.baseline`), which keeps waiver noise out of the code.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_LINE_RE = re.compile(r"#\s*replint:\s*disable=([A-Za-z0-9_*,\s]+)")
+_FILE_RE = re.compile(r"#\s*replint:\s*disable-file=([A-Za-z0-9_*,\s]+)")
+
+#: Token waiving every rule.
+ALL = "all"
+
+
+def _parse_ids(blob: str) -> frozenset[str]:
+    return frozenset(
+        token.strip().upper() if token.strip().lower() != ALL else ALL
+        for token in blob.split(",")
+        if token.strip()
+    )
+
+
+@dataclass
+class WaiverSet:
+    """Parsed waivers for one file."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+
+    def waives(self, finding: Finding) -> bool:
+        rules = self.by_line.get(finding.line, frozenset()) | self.file_wide
+        return finding.rule in rules or ALL in rules
+
+
+def parse_waivers(lines: list[str]) -> WaiverSet:
+    """Extract waiver comments from raw source lines.
+
+    A plain regex over each line is sufficient (and fast): a ``#`` in a
+    string literal could false-positive, but the only consequence is an
+    unintended waiver on that line, which the baseline ratchet and
+    review catch.  Findings, not waivers, are the safety-critical side.
+    """
+    waivers = WaiverSet()
+    file_wide: set[str] = set()
+    for number, text in enumerate(lines, start=1):
+        if "replint" not in text:
+            continue
+        match = _LINE_RE.search(text)
+        if match:
+            waivers.by_line[number] = _parse_ids(match.group(1))
+        match = _FILE_RE.search(text)
+        if match:
+            file_wide |= _parse_ids(match.group(1))
+    waivers.file_wide = frozenset(file_wide)
+    return waivers

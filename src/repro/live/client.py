@@ -15,6 +15,7 @@ the same meaning as in simulation.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from dataclasses import dataclass, field
 
 from ..cdn.jsonapi import VideoInfo, parse_video_info
@@ -76,10 +77,8 @@ class _Connection:
                 return messages[0].to_response(), requested_at, first_byte_at, done_at
 
     def close(self) -> None:
-        try:
+        with contextlib.suppress(Exception):  # pragma: no cover - teardown
             self.writer.close()
-        except Exception:  # pragma: no cover - teardown best-effort
-            pass
 
 
 @dataclass

@@ -84,7 +84,7 @@ class LiveTestbed:
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
         clock = loop.time
-        for network_id, shape in zip(self.network_ids, self.shapes):
+        for network_id, shape in zip(self.network_ids, self.shapes, strict=True):
             pool: list[LiveHTTPServer] = []
             for index in range(self.video_servers_per_network):
                 app = VideoServerApp(

@@ -20,7 +20,8 @@ Connections are persistent (keep-alive), matching §4.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable
+import contextlib
+from collections.abc import Callable
 
 from ..errors import HTTPParseError
 from ..http.h1 import H1Parser
@@ -105,10 +106,10 @@ class LiveHTTPServer:
             return
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(  # pragma: no cover - teardown best-effort
+                ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+            ):
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
-                pass  # pragma: no cover - teardown best-effort
 
     async def _respond(self, message, writer: asyncio.StreamWriter, bucket) -> None:
         # Request leg + first-byte leg of the emulated path.

@@ -25,7 +25,7 @@ are reproducible (see :mod:`repro.rng`).
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -37,6 +37,8 @@ Segment = tuple[float, float]
 
 class BandwidthProcess:
     """Interface: an endless iterator of piecewise-constant capacity segments."""
+
+    __slots__ = ("mean_rate",)
 
     #: Long-run mean rate in bytes/s, used for calibration and reporting.
     mean_rate: float
@@ -57,6 +59,8 @@ class ConstantBandwidth(BandwidthProcess):
     >>> next(process.segments())
     (1.0, 1000000.0)
     """
+
+    __slots__ = ("segment_duration",)
 
     def __init__(self, rate: float, segment_duration: float = 1.0) -> None:
         if rate <= 0:
@@ -80,6 +84,8 @@ class MarkovBandwidth(BandwidthProcess):
     matrix is given.  Holding times are exponential, the standard model
     for load shifts on shared wireless channels.
     """
+
+    __slots__ = ("states", "_rng", "_initial_state", "_transitions")
 
     def __init__(
         self,
@@ -152,6 +158,8 @@ class ARLogNormalBandwidth(BandwidthProcess):
     clamped to ``[floor, ceiling]`` to keep the fluid model sane.
     """
 
+    __slots__ = ("sigma", "rho", "interval", "floor", "ceiling", "_rng", "_mu")
+
     def __init__(
         self,
         mean_rate: float,
@@ -197,6 +205,8 @@ class ARLogNormalBandwidth(BandwidthProcess):
 class TraceBandwidth(BandwidthProcess):
     """Replay a recorded ``(duration, rate)`` trace, optionally looping."""
 
+    __slots__ = ("trace", "loop")
+
     def __init__(self, trace: Sequence[Segment], loop: bool = True) -> None:
         if not trace:
             raise ConfigError("trace must be non-empty")
@@ -226,6 +236,8 @@ class CompositeBandwidth(BandwidthProcess):
     approximately the first process's mean.  Used by the wide-area
     "youtube" profile: smooth AR(1) drift × Markov load shifts.
     """
+
+    __slots__ = ("base", "modulation")
 
     def __init__(self, base: BandwidthProcess, modulation: BandwidthProcess) -> None:
         self.base = base

@@ -40,9 +40,13 @@ from __future__ import annotations
 import math
 import os
 from heapq import heappop, heappush
-from typing import Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigError
+
+if TYPE_CHECKING:  # import cycle: env.py imports this module
+    from .simclock import SimClock
 
 __all__ = [
     "CalendarScheduler",
@@ -60,10 +64,10 @@ KERNELS = ("heapq", "calendar", "compiled")
 #: Process-wide default set by :func:`set_default_kernel` (the worker-
 #: side kernel pin shipped by the execution engine, and the CLI/Study
 #: ``--kernel`` override).  Checked before the environment variable.
-_DEFAULT_KERNEL: Optional[str] = None
+_DEFAULT_KERNEL: str | None = None
 
 
-def set_default_kernel(kernel: Optional[str]) -> Optional[str]:
+def set_default_kernel(kernel: str | None) -> str | None:
     """Pin (or with ``None`` unpin) the process-wide default kernel.
 
     Worker processes inherit their environment at fork time, so a
@@ -79,7 +83,7 @@ def set_default_kernel(kernel: Optional[str]) -> Optional[str]:
     return previous
 
 
-def resolve_kernel(kernel: Optional[str] = None) -> str:
+def resolve_kernel(kernel: str | None = None) -> str:
     """Turn a ``--kernel`` / ``REPRO_KERNEL``-style value into a name.
 
     ``None`` consults the process-wide default, then ``REPRO_KERNEL``;
@@ -100,7 +104,7 @@ def resolve_kernel(kernel: Optional[str] = None) -> str:
     return token
 
 
-def compiled_core():
+def compiled_core() -> type | None:
     """The compiled scheduler class, or ``None`` when not built."""
     try:
         from . import _ckernel  # type: ignore[attr-defined]
@@ -109,7 +113,7 @@ def compiled_core():
     return _ckernel.CalendarScheduler
 
 
-def make_scheduler(kernel: str):
+def make_scheduler(kernel: str) -> HeapScheduler | CalendarScheduler:
     """Instantiate the scheduler for a resolved kernel name."""
     if kernel == "heapq":
         return HeapScheduler()
@@ -292,7 +296,12 @@ class CalendarScheduler:
             if when < self._far_min:
                 self._far_min = when
 
-    def make_call_later(self, clock, priority: int, clock_error):
+    def make_call_later(
+        self,
+        clock: SimClock,
+        priority: int,
+        clock_error: type[Exception],
+    ) -> Callable[[float, Callable[[], None]], None]:
         """A bound ``call_later(delay, callback)`` for ``clock``.
 
         The environment installs this closure as its instance-level
@@ -307,7 +316,7 @@ class CalendarScheduler:
         buckets = self._buckets
         dirty = self._dirty
 
-        def call_later(delay: float, callback) -> None:
+        def call_later(delay: float, callback: Callable[[], None]) -> None:
             if delay < 0:
                 raise clock_error(
                     f"cannot schedule a callback {delay} seconds in the past"

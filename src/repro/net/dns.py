@@ -22,6 +22,8 @@ from .env import Environment
 class StubResolver:
     """Per-network name → address-list resolution with TTL-less caching."""
 
+    __slots__ = ("env", "lookup_delay", "_records", "_cache", "misses", "hits")
+
     def __init__(self, env: Environment, lookup_delay: float = 0.030) -> None:
         if lookup_delay < 0:
             raise ConfigError("lookup_delay must be non-negative")

@@ -39,7 +39,7 @@ Two scheduling lanes exist beside the classic event machinery:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 from ..errors import ClockError, SimulationError
 from .calendar import CalendarScheduler, make_scheduler, resolve_kernel
@@ -64,10 +64,13 @@ class EmptySchedule(SimulationError):
     """``run()`` exhausted the event queue before reaching ``until``."""
 
 
-class Environment:
+# One environment exists per trial (not per event), and the calendar
+# kernel shadows ``call_later`` with an instance-level closure — which
+# requires a ``__dict__``, so __slots__ cannot apply here.
+class Environment:  # replint: disable=SLT001
     """Owns simulated time and the pending-event scheduler."""
 
-    def __init__(self, start: float = 0.0, kernel: Optional[str] = None) -> None:
+    def __init__(self, start: float = 0.0, kernel: str | None = None) -> None:
         self._clock = SimClock(start)
         #: Resolved kernel name ("heapq", "calendar", or "compiled").
         self.kernel = resolve_kernel(kernel)
@@ -83,7 +86,7 @@ class Environment:
             self.call_later = self._scheduler.make_call_later(
                 self._clock, NORMAL, ClockError
             )
-        self._active_process: Optional[Process] = None
+        self._active_process: Process | None = None
         self._timer_pool: list[PooledTimeout] = []
 
     # -- time ---------------------------------------------------------------
@@ -94,7 +97,7 @@ class Environment:
         return self._clock.now
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Process | None:
         """The process currently being resumed, if any."""
         return self._active_process
 

@@ -18,7 +18,8 @@ tested without a running loop.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, Iterable
+from collections.abc import Callable, Generator, Iterable
+from typing import TYPE_CHECKING
 
 from ..errors import Interrupt, ProcessError
 
@@ -233,7 +234,7 @@ class Process(Event):
         # we are being resumed early by an interrupt.
         waited = self._waiting_on
         if waited is not None and waited is not event and waited.callbacks is not None:
-            try:
+            try:  # noqa: SIM105 — interrupt hot path; suppress() costs a frame
                 waited.callbacks.remove(self._resume)
             except ValueError:  # pragma: no cover - defensive
                 pass

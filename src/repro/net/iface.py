@@ -16,7 +16,7 @@ server selection ("which network is this client calling from?").
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import ConfigError, LinkDownError
 from .env import Environment
@@ -27,6 +27,19 @@ from .tcp import TCPConnection, TCPParams
 
 class NetworkInterface:
     """A client NIC: WiFi or cellular, with its own link, latency, and routes."""
+
+    __slots__ = (
+        "env",
+        "name",
+        "kind",
+        "link",
+        "latency",
+        "network_id",
+        "address",
+        "tcp_params",
+        "_connection_counter",
+        "status_listeners",
+    )
 
     #: Recognised interface technologies (free-form but validated for typos).
     KNOWN_KINDS = ("wifi", "lte", "3g", "ethernet")

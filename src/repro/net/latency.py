@@ -22,6 +22,8 @@ from ..errors import ConfigError
 class LatencyProcess:
     """Interface for one-way delay sampling."""
 
+    __slots__ = ("base_delay",)
+
     #: Nominal one-way delay in seconds (RTT / 2), used for reporting.
     base_delay: float
 
@@ -42,6 +44,8 @@ class ConstantLatency(LatencyProcess):
     0.01
     """
 
+    __slots__ = ()
+
     def __init__(self, one_way_delay: float) -> None:
         if one_way_delay < 0:
             raise ConfigError(f"delay must be non-negative, got {one_way_delay}")
@@ -58,6 +62,8 @@ class JitteredLatency(LatencyProcess):
     matches queueing reality and keeps the closed-form Fig. 1 bounds
     meaningful as *lower* bounds.
     """
+
+    __slots__ = ("jitter_std", "min_delay", "_rng")
 
     def __init__(
         self,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -133,7 +133,7 @@ class FlowHandle:
         link: "Link",
         total_bytes: float,
         cap: float,
-        ramp_rtt: Optional[float] = None,
+        ramp_rtt: float | None = None,
         ramp_limit: float = math.inf,
     ) -> None:
         if total_bytes <= 0:
@@ -149,11 +149,11 @@ class FlowHandle:
         self.rate = 0.0
         self.done: Event = link.env.event()
         self.started_at = link.env.now
-        self.finished_at: Optional[float] = None
+        self.finished_at: float | None = None
         self._ramp_interval = ramp_rtt
         self._ramp_limit = float(ramp_limit)
         if ramp_rtt is None or self.cap >= self._ramp_limit:
-            self._ramp_at: Optional[float] = None
+            self._ramp_at: float | None = None
         else:
             self._ramp_at = self.started_at + ramp_rtt
 
@@ -216,6 +216,20 @@ class FlowHandle:
 class Link:
     """One bottleneck link: capacity process + active flow set."""
 
+    __slots__ = (
+        "env",
+        "name",
+        "bandwidth",
+        "capacity",
+        "_flows",
+        "_version",
+        "_last_settle",
+        "_down",
+        "bytes_carried",
+        "status_listeners",
+        "_segments",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -251,7 +265,7 @@ class Link:
         self,
         total_bytes: float,
         cap: float = math.inf,
-        ramp_rtt: Optional[float] = None,
+        ramp_rtt: float | None = None,
         ramp_limit: float = math.inf,
     ) -> FlowHandle:
         """Begin transferring ``total_bytes`` through the link.
@@ -295,7 +309,7 @@ class Link:
             self._settle()
             self.capacity = rate
             self._state_changed(settled=True)
-            yield self.env.timeout(duration)
+            yield self.env.pooled_timeout(duration)
 
     def _settle(self) -> None:
         """Account bytes delivered since the last allocation change."""
@@ -312,7 +326,7 @@ class Link:
             total = float(delivered.sum())
             if total > 0.0:
                 remaining -= delivered
-                for flow, left in zip(flows, remaining.tolist()):
+                for flow, left in zip(flows, remaining.tolist(), strict=True):
                     flow.remaining = left
                 self.bytes_carried += total
             return
@@ -370,12 +384,12 @@ class Link:
             completion = np.full(len(flows), math.inf)
             np.divide(remaining, rate_array, out=completion, where=rate_array > 0.0)
             next_event = float(completion.min())
-            for flow, rate in zip(flows, rate_array.tolist()):
+            for flow, rate in zip(flows, rate_array.tolist(), strict=True):
                 flow.rate = rate
         else:
             rates = max_min_allocation(capacity, [f.cap for f in flows])
             next_event = math.inf
-            for flow, rate in zip(flows, rates):
+            for flow, rate in zip(flows, rates, strict=True):
                 flow.rate = rate
                 if rate > 0:
                     next_event = min(next_event, flow.remaining / rate)

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from ..errors import ConfigError, ConnectionClosedError, LinkDownError, NetworkError
 from .env import Environment
@@ -44,7 +43,7 @@ from .link import FlowHandle, Link
 from .tls import TLSParams, tls_handshake_duration
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TCPParams:
     """Tunable constants of the connection model."""
 
@@ -103,6 +102,23 @@ class TCPConnection:
     programming error and raise.
     """
 
+    __slots__ = (
+        "env",
+        "link",
+        "latency",
+        "params",
+        "name",
+        "connected",
+        "closed",
+        "secure",
+        "_cwnd",
+        "_last_activity",
+        "_busy",
+        "_current_flow",
+        "bytes_received",
+        "request_count",
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -122,7 +138,7 @@ class TCPConnection:
         self._cwnd = float(self.params.initial_window_bytes)
         self._last_activity = env.now
         self._busy = False
-        self._current_flow: Optional[FlowHandle] = None
+        self._current_flow: FlowHandle | None = None
         #: Cumulative bytes received, for per-path traffic accounting.
         self.bytes_received = 0
         #: Exchange count, for request-overhead accounting.

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from ..errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TLSParams:
     """Server-side handshake compute costs, in seconds.
 

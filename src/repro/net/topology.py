@@ -19,7 +19,6 @@ existing connections to it are reset.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..errors import ConfigError, RoutingError, ServerUnavailableError
 from .env import Environment
@@ -32,6 +31,8 @@ from .tls import TLSParams
 class _PathLatency(LatencyProcess):
     """Access-link latency plus fixed host distance (one-way)."""
 
+    __slots__ = ("access", "extra")
+
     def __init__(self, access: LatencyProcess, extra_one_way: float) -> None:
         self.access = access
         self.extra = float(extra_one_way)
@@ -43,6 +44,17 @@ class _PathLatency(LatencyProcess):
 
 class Host:
     """A server machine addressable in one or more networks."""
+
+    __slots__ = (
+        "address",
+        "tls",
+        "extra_one_way_delay",
+        "network_id",
+        "app",
+        "up",
+        "_connections",
+        "bytes_served",
+    )
 
     def __init__(
         self,
@@ -86,6 +98,8 @@ class Host:
 
 class Network:
     """Registry of hosts plus the client-side connection factory."""
+
+    __slots__ = ("env", "_hosts")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from functools import partial
-from typing import Callable, Optional, Sequence, Union
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -298,9 +298,9 @@ class TrialResult:
     def __init__(
         self,
         label: str,
-        outcomes: Optional[list[SessionOutcome]] = None,
-        batch: Optional[OutcomeBatch] = None,
-        outcome_thunk: Optional[Callable[[], list[SessionOutcome]]] = None,
+        outcomes: list[SessionOutcome] | None = None,
+        batch: OutcomeBatch | None = None,
+        outcome_thunk: Callable[[], list[SessionOutcome]] | None = None,
     ) -> None:
         if batch is not None and outcomes is None and outcome_thunk is None:
             # A batch-only result would serve .outcomes == [] next to a
@@ -404,8 +404,8 @@ class Campaign:
 
     def __init__(
         self,
-        jobs: Union[int, str, ExecutionEngine, None] = None,
-        engine: Optional[ExecutionEngine] = None,
+        jobs: int | str | ExecutionEngine | None = None,
+        engine: ExecutionEngine | None = None,
     ) -> None:
         self._jobs = jobs
         self._engine = engine
@@ -528,13 +528,13 @@ def run_together(
     merged: list = []
     merged_owner: list[int] = []
     for rank in range(max((len(batch) for batch in batches), default=0)):
-        for batch, owner in zip(batches, owners):
+        for batch, owner in zip(batches, owners, strict=True):
             if rank < len(batch):
                 merged.append(batch[rank])
                 merged_owner.append(owner)
     collection = collect_trials(engine, merged)
     rows_by_key: dict[tuple[int, str], list[int]] = {}
-    for position, (spec, owner) in enumerate(zip(merged, merged_owner)):
+    for position, (spec, owner) in enumerate(zip(merged, merged_owner, strict=True)):
         rows_by_key.setdefault((owner, spec.label), []).append(position)
     results: list[dict[str, TrialResult]] = []
     for index, campaign in enumerate(campaigns):

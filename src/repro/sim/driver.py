@@ -284,13 +284,13 @@ class MSPlayerDriver:
         env = self.scenario.env
         tick = self.config.tick_s
         while not self._finish.triggered:
-            yield env.timeout(tick)
+            yield env.pooled_timeout(tick)
             result = self.session.on_tick(tick, env.now)
             self._execute(result.commands)
 
     def _watchdog(self):
         env = self.scenario.env
-        yield env.timeout(self.max_sim_time)
+        yield env.pooled_timeout(self.max_sim_time)
         self._finish_once("timeout")
 
     def _on_iface_status(self, path_id: int, down: bool) -> None:

@@ -47,15 +47,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
-from typing import (
-    Callable,
-    ClassVar,
-    Optional,
-    Protocol,
-    Sequence,
-    Union,
-    runtime_checkable,
-)
+from collections.abc import Callable, Sequence
+from typing import ClassVar, Protocol, runtime_checkable
 
 from ..core.config import PlayerConfig
 from ..errors import ConfigError
@@ -173,11 +166,11 @@ class WorkSpec(Protocol):
     #: Class-level arena layout shared by every spec of this kind.
     dense_columns: ColumnLayout
 
-    def run(self): ...
+    def run(self) -> object: ...
 
-    def write_dense(self, arena: OutcomeArena, row: int, result) -> None: ...
+    def write_dense(self, arena: OutcomeArena, row: int, result: object) -> None: ...
 
-    def encode_side(self, result): ...
+    def encode_side(self, result: object) -> object: ...
 
     @staticmethod
     def rebuild(dense: dict, sides: Sequence) -> list: ...
@@ -193,7 +186,7 @@ class TrialSpec:
     profile_factory: Callable[[], NetworkProfile]
     driver: DriverFactory
     scenario_config: ScenarioConfig = field(default_factory=ScenarioConfig)
-    scenario_hook: Optional[ScenarioHook] = None
+    scenario_hook: ScenarioHook | None = None
 
     #: Arena layout for the shm collection path (class-level; see
     #: :class:`WorkSpec`).
@@ -244,12 +237,12 @@ def _attached_arena(name: str, rows: int, columns: ColumnLayout) -> OutcomeArena
     return arena
 
 
-def run_unit(spec: WorkSpec):
+def run_unit(spec: WorkSpec) -> object:
     """Execute one work unit (the pickle-path pool entry point)."""
     return spec.run()
 
 
-def _run_scoped(kernel: str, fn, item):
+def _run_scoped(kernel: str, fn: Callable[[object], object], item: object) -> object:
     """Worker-side wrapper pinning the parent's event-kernel choice.
 
     Worker pools are cached across campaigns and fork with whatever
@@ -261,7 +254,9 @@ def _run_scoped(kernel: str, fn, item):
     return fn(item)
 
 
-def run_unit_into_arena(arena_name: str, rows: int, item: tuple[int, WorkSpec]):
+def run_unit_into_arena(
+    arena_name: str, rows: int, item: tuple[int, WorkSpec]
+) -> object:
     """The shm-path work unit: run the spec, store its dense scalars
     at its row of the shared arena (whose layout the spec kind
     declares), return only the ragged/string remainder through the
@@ -352,9 +347,9 @@ class ProcessEngine:
 
     def __init__(
         self,
-        jobs: Optional[int] = None,
+        jobs: int | None = None,
         fallback_to_serial: bool = False,
-        ipc: Optional[str] = None,
+        ipc: str | None = None,
     ) -> None:
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
@@ -461,7 +456,7 @@ class ProcessEngine:
         return f"ProcessEngine(jobs={self.jobs}, name={self.name!r}, ipc={self.ipc!r})"
 
 
-def resolve_engine(jobs: Union[int, str, ExecutionEngine, None] = None) -> ExecutionEngine:
+def resolve_engine(jobs: int | str | ExecutionEngine | None = None) -> ExecutionEngine:
     """Turn a ``--jobs`` / ``REPRO_JOBS``-style value into an engine.
 
     * ``None`` — consult ``REPRO_JOBS``; unset means serial;

@@ -27,7 +27,7 @@ the same per-label :class:`TrialResult` objects.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from collections.abc import Callable
 
 from ..core.config import PlayerConfig
 from ..rng import RngFactory
@@ -65,8 +65,8 @@ class TrialRunner:
         scenario_config: ScenarioConfig | None = None,
         root_seed: int = 20141202,  # CoNEXT'14 started Dec 2, 2014
         trials: int = 20,  # the paper's repetition count (§5.2)
-        jobs: Union[int, str, None] = None,
-        engine: Optional[ExecutionEngine] = None,
+        jobs: int | str | None = None,
+        engine: ExecutionEngine | None = None,
     ) -> None:
         self.profile_factory = profile_factory
         self.scenario_config = scenario_config or ScenarioConfig()
@@ -95,7 +95,7 @@ class TrialRunner:
         self,
         label: str,
         make_driver: DriverFactory,
-        scenario_hook: Optional[ScenarioHook] = None,
+        scenario_hook: ScenarioHook | None = None,
     ) -> list[TrialSpec]:
         """The trial batch ``run`` hands to the execution engine."""
         return [
@@ -115,7 +115,7 @@ class TrialRunner:
         self,
         label: str,
         make_driver: DriverFactory,
-        scenario_hook: Optional[ScenarioHook] = None,
+        scenario_hook: ScenarioHook | None = None,
     ) -> TrialResult:
         """Execute ``trials`` independent runs of one configuration.
 

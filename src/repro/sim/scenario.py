@@ -135,9 +135,9 @@ class Scenario:
             iface = self.wifi if outage.iface == "wifi" else self.lte
 
             def toggler(iface=iface, outage=outage):
-                yield self.env.timeout(outage.down_at)
+                yield self.env.pooled_timeout(outage.down_at)
                 iface.set_up(False)
-                yield self.env.timeout(outage.up_at - outage.down_at)
+                yield self.env.pooled_timeout(outage.up_at - outage.down_at)
                 iface.set_up(True)
 
             self.env.process(toggler())

@@ -54,9 +54,11 @@ test wall in ``tests/test_sim_shm.py`` /
 
 from __future__ import annotations
 
+import contextlib
 import os
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, NamedTuple, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import NamedTuple
 
 import numpy as np
 
@@ -102,7 +104,7 @@ def _row_bytes(columns: ColumnLayout) -> int:
     return sum(np.dtype(dtype).itemsize for _name, dtype in columns)
 
 
-def resolve_ipc(ipc: Optional[str] = None) -> str:
+def resolve_ipc(ipc: str | None = None) -> str:
     """Turn an ``--ipc`` / ``REPRO_IPC``-style value into a backend name.
 
     ``None`` consults ``REPRO_IPC``; unset means ``"shm"`` (the
@@ -163,7 +165,11 @@ class OutcomeArena:
         """Parent side: allocate a fresh arena for ``rows`` work units."""
         size = max(1, rows * _row_bytes(columns))  # zero-byte segments are invalid
         while True:
-            name = ARENA_PREFIX + os.urandom(8).hex()
+            # OS entropy is deliberate here: the segment *name* must be
+            # unique across unrelated processes sharing /dev/shm and
+            # never feeds simulation state — results are a function of
+            # the arena's contents, not its label.
+            name = ARENA_PREFIX + os.urandom(8).hex()  # replint: disable=DET001
             try:
                 shm = shared_memory.SharedMemory(name=name, create=True, size=size)
             except FileExistsError:  # pragma: no cover - 64-bit collision
@@ -235,15 +241,11 @@ class OutcomeArena:
         completed, the pool broke once (retry rewrote the rows), or the
         retry broke too.
         """
-        try:
+        with contextlib.suppress(Exception):  # pragma: no cover - already closed
             self.close()
-        except Exception:  # pragma: no cover - already closed
-            pass
         if self._owner:
-            try:
+            with contextlib.suppress(FileNotFoundError):  # pragma: no cover
                 self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
 
 
 # ---------------------------------------------------------------------------
@@ -269,10 +271,10 @@ class SideRecord(NamedTuple):
     requests_by_path: dict
     # -- QoEMetrics remainder ------------------------------------------------
     session_started_at: float
-    playback_started_at: Optional[float]
-    prebuffer_completed_at: Optional[float]
-    playback_finished_at: Optional[float]
-    download_completed_at: Optional[float]
+    playback_started_at: float | None
+    prebuffer_completed_at: float | None
+    playback_finished_at: float | None
+    download_completed_at: float | None
     prebuffer_bytes_by_path: dict
     rebuffer_bytes_by_path: dict
     metrics_requests_by_path: dict
@@ -396,10 +398,10 @@ class TrialCollection:
 
     def __init__(
         self,
-        outcomes: Optional[list] = None,
-        dense: Optional[dict[str, np.ndarray]] = None,
-        sides: Optional[Sequence] = None,
-        rebuild: Optional[Callable[[dict, Sequence], list]] = None,
+        outcomes: list | None = None,
+        dense: dict[str, np.ndarray] | None = None,
+        sides: Sequence | None = None,
+        rebuild: Callable[[dict, Sequence], list] | None = None,
     ) -> None:
         if outcomes is None and (dense is None or sides is None):
             raise ConfigError(

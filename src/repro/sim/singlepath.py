@@ -109,7 +109,7 @@ class SinglePathDriver:
                 while not self._buffer().fetch_on:
                     if self._finish.triggered or self._buffer().playback_finished:
                         return
-                    yield env.timeout(self.config.tick_s)
+                    yield env.pooled_timeout(self.config.tick_s)
                 yield from self._fetch_cycle()
                 self._check_cycles_stop()
             if self.buffer is not None and self._frontier >= self._total_bytes:
@@ -205,7 +205,7 @@ class SinglePathDriver:
         env = self.scenario.env
         tick = self.config.tick_s
         while not self._finish.triggered:
-            yield env.timeout(tick)
+            yield env.pooled_timeout(tick)
             if self.buffer is None:
                 continue
             previous = self.buffer.phase
@@ -248,7 +248,7 @@ class SinglePathDriver:
             self._finish_once("cycles-complete")
 
     def _watchdog(self):
-        yield self.scenario.env.timeout(self.max_sim_time)
+        yield self.scenario.env.pooled_timeout(self.max_sim_time)
         self._finish_once("timeout")
 
     def _finish_once(self, reason: str) -> None:

@@ -31,7 +31,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # import cycle: study.py imports this module lazily
+    from .study import StudyResult
 
 import numpy as np
 
@@ -74,7 +78,7 @@ def _jsonify(value: Any) -> Any:
     )
 
 
-def _paths(path) -> tuple[Path, Path]:
+def _paths(path: str | Path) -> tuple[Path, Path]:
     """Resolve a base path to the (json, npz) file pair.
 
     Accepts a bare base (``results/fig2-grid``) or either member of the
@@ -89,7 +93,7 @@ def _paths(path) -> tuple[Path, Path]:
     return Path(f"{path}.json"), Path(f"{path}.npz")
 
 
-def save_study(result, path) -> tuple[str, str]:
+def save_study(result: StudyResult, path: str | Path) -> tuple[str, str]:
     """Write ``result`` to ``<path>.json`` + ``<path>.npz``."""
     json_path, npz_path = _paths(path)
     json_path.parent.mkdir(parents=True, exist_ok=True)
@@ -158,7 +162,7 @@ def _check(mapping: Mapping, types: Mapping[str, type], where: str) -> None:
             )
 
 
-def load_study(path):
+def load_study(path: str | Path) -> StudyResult:
     """Load a :class:`StudyResult` archived by :func:`save_study`."""
     from ..analysis.experiments import ExperimentResult
     from .study import StudyCell, StudyResult
@@ -169,7 +173,7 @@ def load_study(path):
     try:
         manifest = json.loads(json_path.read_text())
     except json.JSONDecodeError as exc:
-        raise ConfigError(f"study archive {json_path} is not valid JSON: {exc}")
+        raise ConfigError(f"study archive {json_path} is not valid JSON: {exc}") from None
     if not isinstance(manifest, dict):
         raise ConfigError(f"study archive {json_path}: manifest must be an object")
     _check(manifest, _MANIFEST_TYPES, "manifest")

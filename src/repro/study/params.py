@@ -30,7 +30,8 @@ Design notes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from typing import Any
 
 from ..errors import ConfigError
 
@@ -62,10 +63,10 @@ class Param:
     type: type
     default: Any
     help: str = ""
-    choices: Optional[tuple] = None
+    choices: tuple | None = None
     minimum: Any = None
     many: bool = False
-    parse: Optional[Callable[[str], Any]] = None
+    parse: Callable[[str], Any] | None = None
     #: Default the generated CLI uses when the flag is omitted; UNSET
     #: means the CLI falls through to ``default`` like everyone else.
     cli_default: Any = UNSET

@@ -28,7 +28,8 @@ registry (and :func:`get_experiment` imports it lazily, so
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Any, Callable, Mapping, TYPE_CHECKING
+from collections.abc import Callable, Mapping
+from typing import Any, TYPE_CHECKING
 
 from ..errors import ConfigError
 from .params import ParamSchema

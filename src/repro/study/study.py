@@ -36,7 +36,8 @@ import itertools
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
-from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -50,7 +51,7 @@ __all__ = ["Study", "StudyCell", "StudyResult", "run_experiment"]
 
 
 @contextmanager
-def _ipc_override(ipc: Optional[str]) -> Iterator[None]:
+def _ipc_override(ipc: str | None) -> Iterator[None]:
     """Scope an ``--ipc``-style collection-mode override to one run.
 
     The engines consult ``REPRO_IPC`` at construction, so the variable
@@ -73,7 +74,7 @@ def _ipc_override(ipc: Optional[str]) -> Iterator[None]:
 
 
 @contextmanager
-def _kernel_override(kernel: Optional[str]) -> Iterator[None]:
+def _kernel_override(kernel: str | None) -> Iterator[None]:
     """Scope a ``--kernel``-style event-kernel override to one run.
 
     Pins the in-process default (which every ``Environment()`` consults
@@ -201,7 +202,7 @@ class StudyResult:
         mismatched = []
         if len(self.cells) != len(other.cells):
             return ["<cell count>"]
-        for mine, theirs in zip(self.cells, other.cells):
+        for mine, theirs in zip(self.cells, other.cells, strict=True):
             if sorted(mine.columns) != sorted(theirs.columns):
                 mismatched.append(f"{mine.index}/<labels>")
                 continue
@@ -236,7 +237,7 @@ class Study:
     """
 
     def __init__(
-        self, experiment: Union[str, ExperimentDef], **params: Any
+        self, experiment: str | ExperimentDef, **params: Any
     ) -> None:
         self.definition = (
             experiment
@@ -278,7 +279,7 @@ class Study:
             return [{}]
         names = list(self._axes)
         return [
-            dict(zip(names, combo))
+            dict(zip(names, combo, strict=True))
             for combo in itertools.product(*self._axes.values())
         ]
 
@@ -288,10 +289,10 @@ class Study:
 
     def run(
         self,
-        jobs: Union[int, str, ExecutionEngine, None] = None,
-        ipc: Optional[str] = None,
-        engine: Optional[ExecutionEngine] = None,
-        kernel: Optional[str] = None,
+        jobs: int | str | ExecutionEngine | None = None,
+        ipc: str | None = None,
+        engine: ExecutionEngine | None = None,
+        kernel: str | None = None,
     ) -> StudyResult:
         """Execute every cell as one merged engine submission.
 
@@ -315,7 +316,7 @@ class Study:
                 cell_params.append(params)
             per_cell = run_together([plan.campaign for plan in plans], engine)
         cells = []
-        for index, (plan, results) in enumerate(zip(plans, per_cell)):
+        for index, (plan, results) in enumerate(zip(plans, per_cell, strict=True)):
             cells.append(
                 StudyCell(
                     index=index,
@@ -336,9 +337,9 @@ class Study:
 
 def run_experiment(
     experiment_id: str,
-    jobs: Union[int, str, ExecutionEngine, None] = None,
-    ipc: Optional[str] = None,
-    kernel: Optional[str] = None,
+    jobs: int | str | ExecutionEngine | None = None,
+    ipc: str | None = None,
+    kernel: str | None = None,
     **params: Any,
 ):
     """One-shot convenience: run a registered experiment, return its

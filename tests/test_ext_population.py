@@ -106,7 +106,7 @@ class TestPopulationBatch:
 
     def test_assembly_paths_agree_bitwise(self, results):
         specs = small_experiment().specs_for("rotate", 3)
-        sides = [spec.encode_side(result) for spec, result in zip(specs, results)]
+        sides = [spec.encode_side(result) for spec, result in zip(specs, results, strict=True)]
         rows = [population_dense_row(result) for result in results]
         dense = {
             name: np.asarray([row[name] for row in rows], dtype=dtype)

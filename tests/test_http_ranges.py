@@ -158,7 +158,7 @@ class TestCoalesce:
     def test_invariants(self, ranges):
         merged = coalesce(ranges)
         # Sorted, disjoint, non-adjacent.
-        for left, right in zip(merged, merged[1:]):
+        for left, right in zip(merged, merged[1:], strict=False):
             assert left.stop < right.start
         # Same byte coverage.
         covered = set()

@@ -1,0 +1,297 @@
+"""CLI, waiver, baseline, and JSON-format behaviour of ``repro lint``.
+
+Exit-code contract (shared with every ``repro`` sub-command): 0 — no
+unbaselined findings; 1 — findings to fix; 2 — usage error.  ``main()``
+returns codes, never raises SystemExit.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import run_lint
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import JSON_SCHEMA_VERSION
+from repro.errors import ConfigError
+
+BAD_NET_MODULE = textwrap.dedent(
+    """
+    import random
+
+    class Unslotted:
+        pass
+    """
+)
+
+
+def write_module(tmp_path: Path, rel: str, source: str) -> Path:
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return target
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    """An isolated cwd so the default baseline path never hits the repo's."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+# ---------------------------------------------------------------------------
+# Waivers
+# ---------------------------------------------------------------------------
+
+
+class TestWaivers:
+    def test_same_line_waiver_suppresses_named_rule(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            "net/mod.py",
+            """
+            import random  # deliberate: doc example  # replint: disable=DET001
+
+            class Unslotted:
+                pass
+            """,
+        )
+        report = run_lint([target], root=tmp_path)
+        assert {f.rule for f in report.findings} == {"SLT001"}
+        assert report.waived == 1
+
+    def test_waiver_only_covers_its_own_line(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            "net/mod.py",
+            """
+            import random  # replint: disable=DET001
+            import uuid
+            """,
+        )
+        report = run_lint([target], root=tmp_path)
+        assert len(report.findings) == 1
+        assert report.findings[0].context == "import uuid"
+
+    def test_file_wide_waiver(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            "net/mod.py",
+            """
+            # compatibility shim  # replint: disable-file=SLT001
+
+            class One:
+                pass
+
+            class Two:
+                pass
+            """,
+        )
+        report = run_lint([target], root=tmp_path)
+        assert report.clean
+        assert report.waived == 2
+
+    def test_disable_all(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            "net/mod.py",
+            """
+            import random  # replint: disable=all
+            """,
+        )
+        report = run_lint([target], root=tmp_path)
+        assert report.clean and report.waived == 1
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_then_resurfaces(self, tmp_path):
+        target = write_module(tmp_path, "net/mod.py", BAD_NET_MODULE)
+        first = run_lint([target], root=tmp_path)
+        assert len(first.findings) == 2
+
+        baseline_path = tmp_path / "replint-baseline.json"
+        assert write_baseline(baseline_path, first.findings) == 2
+
+        baseline = load_baseline(baseline_path)
+        second = run_lint([target], root=tmp_path, baseline=baseline)
+        assert second.clean
+        assert second.baselined == 2
+        assert second.stale_baseline == []
+
+        # Moving the offending line does NOT resurface it (line numbers
+        # are display-only in the baseline key)...
+        write_module(tmp_path, "net/mod.py", "\n\n" + BAD_NET_MODULE)
+        moved = run_lint([target], root=tmp_path, baseline=load_baseline(baseline_path))
+        assert moved.clean and moved.baselined == 2
+
+        # ...but editing the line itself does, and the old entry goes stale.
+        write_module(
+            tmp_path,
+            "net/mod.py",
+            """
+            import random as _rng
+
+            class Unslotted:
+                pass
+            """,
+        )
+        edited = run_lint([target], root=tmp_path, baseline=load_baseline(baseline_path))
+        assert [f.context for f in edited.findings] == ["import random as _rng"]
+        assert edited.baselined == 1
+        assert edited.stale_baseline == [("DET001", "net/mod.py", "import random")]
+
+    def test_identical_lines_fold_into_a_multiset(self, tmp_path):
+        target = write_module(
+            tmp_path,
+            "sim/mod.py",
+            """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+            """,
+        )
+        first = run_lint([target], root=tmp_path)
+        assert len(first.findings) == 2
+        baseline_path = tmp_path / "b.json"
+        write_baseline(baseline_path, first.findings)
+        payload = json.loads(baseline_path.read_text())
+        assert payload["version"] == BASELINE_VERSION
+        assert len(payload["findings"]) == 1
+        assert payload["findings"][0]["count"] == 2
+        # Two baselined, a third new occurrence is fresh.
+        write_module(
+            tmp_path,
+            "sim/mod.py",
+            """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+
+            def c():
+                return time.time()
+            """,
+        )
+        report = run_lint(
+            [target], root=tmp_path, baseline=load_baseline(baseline_path)
+        )
+        assert len(report.findings) == 1 and report.baselined == 2
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert len(load_baseline(tmp_path / "absent.json")) == 0
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="unreadable baseline"):
+            load_baseline(bad)
+        versioned = tmp_path / "versioned.json"
+        versioned.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ConfigError, match="expected version"):
+            load_baseline(versioned)
+
+    def test_empty_baseline_applies_cleanly(self):
+        fresh, baselined, stale = Baseline().apply([])
+        assert fresh == [] and baselined == 0 and stale == []
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes and output formats
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_tree(self, workdir, capsys):
+        write_module(workdir, "src/live/mod.py", "x = 1\n")
+        assert main(["lint", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s) in 1 file(s)" in out
+
+    def test_exit_one_on_findings(self, workdir, capsys):
+        write_module(workdir, "src/net/mod.py", BAD_NET_MODULE)
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "net/mod.py:2:0: DET001" in out
+        assert "2 finding(s) in 1 file(s) (0 baselined, 0 waived)" in out
+
+    def test_exit_two_on_missing_path(self, workdir, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule(self, workdir, capsys):
+        write_module(workdir, "src/mod.py", "x = 1\n")
+        assert main(["lint", "src", "--select", "NOPE01"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_flag(self, workdir, capsys):
+        assert main(["lint", "--bogus"]) == 2
+
+    def test_json_format_schema(self, workdir, capsys):
+        write_module(workdir, "src/net/mod.py", BAD_NET_MODULE)
+        assert main(["lint", "src", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["counts"] == {"total": 2, "baselined": 0, "waived": 0}
+        assert [f["rule"] for f in payload["findings"]] == ["DET001", "SLT001"]
+        first = payload["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message", "context"}
+        assert first["path"].endswith("net/mod.py") and first["line"] == 2
+
+    def test_select_comma_and_repeat(self, workdir, capsys):
+        write_module(workdir, "src/net/mod.py", BAD_NET_MODULE)
+        assert main(["lint", "src", "--select", "det001,SLT001"]) == 1
+        assert main(["lint", "src", "--select", "DET002"]) == 0
+        capsys.readouterr()
+
+    def test_write_baseline_then_clean(self, workdir, capsys):
+        write_module(workdir, "src/net/mod.py", BAD_NET_MODULE)
+        assert main(["lint", "src", "--write-baseline"]) == 0
+        err = capsys.readouterr().err
+        assert "wrote 2 baseline entries" in err
+        assert (workdir / "replint-baseline.json").exists()
+        # The default baseline path now grandfathers both findings...
+        assert main(["lint", "src"]) == 0
+        assert "(2 baselined, 0 waived)" in capsys.readouterr().out
+        # ...and --no-baseline reports them again.
+        assert main(["lint", "src", "--no-baseline"]) == 1
+
+    def test_stale_baseline_reported(self, workdir, capsys):
+        write_module(workdir, "src/net/mod.py", BAD_NET_MODULE)
+        assert main(["lint", "src", "--write-baseline"]) == 0
+        write_module(workdir, "src/net/mod.py", "x = 1\n")
+        assert main(["lint", "src"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_list_rules(self, workdir, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "KER001", "SLT001", "WRK001"):
+            assert rule_id in out
+
+    def test_standalone_entry_point(self, workdir, capsys):
+        from repro.lint.cli import main as lint_main
+
+        write_module(workdir, "src/net/mod.py", BAD_NET_MODULE)
+        assert lint_main(["src", "--select", "DET001"]) == 1
+        capsys.readouterr()

@@ -51,9 +51,8 @@ class TestMarkov:
 
     def test_rates_come_from_state_set(self, rng):
         process = MarkovBandwidth([(2e6, 1.0), (1e6, 1.0)], rng)
-        rates = {rate for _, rate in zip(range(50), ())}  # placeholder
         rates = set()
-        for _, (duration, rate) in zip(range(50), process.segments()):
+        for _, (duration, rate) in zip(range(50), process.segments(), strict=False):
             assert duration > 0
             rates.add(rate)
         assert rates <= {2e6, 1e6}
@@ -80,13 +79,13 @@ class TestARLogNormal:
         process = ARLogNormalBandwidth(
             1e6, sigma=1.0, rng=rng, rho=0.0, floor_fraction=0.2, ceiling_fraction=2.0
         )
-        for _, (duration, rate) in zip(range(500), process.segments()):
+        for _, (duration, rate) in zip(range(500), process.segments(), strict=False):
             assert duration == pytest.approx(0.5)
             assert 0.2e6 <= rate <= 2.0e6
 
     def test_zero_sigma_is_constant(self, rng):
         process = ARLogNormalBandwidth(1e6, sigma=0.0, rng=rng)
-        rates = [rate for _, (d, rate) in zip(range(20), process.segments())]
+        rates = [rate for _, (d, rate) in zip(range(20), process.segments(), strict=False)]
         assert all(rate == pytest.approx(1e6) for rate in rates)
 
     def test_parameter_validation(self, rng):
@@ -101,7 +100,7 @@ class TestARLogNormal:
 class TestTrace:
     def test_replay_and_loop(self):
         process = TraceBandwidth([(1.0, 1e6), (2.0, 2e6)], loop=True)
-        segments = [segment for _, segment in zip(range(4), process.segments())]
+        segments = [segment for _, segment in zip(range(4), process.segments(), strict=False)]
         assert segments == [(1.0, 1e6), (2.0, 2e6), (1.0, 1e6), (2.0, 2e6)]
 
     def test_mean_rate_time_weighted(self):
@@ -129,7 +128,7 @@ class TestComposite:
         base = TraceBandwidth([(1.0, 1e6), (1.0, 2e6)])
         modulation = ConstantBandwidth(5.0)  # any constant: normalized away
         composite = CompositeBandwidth(base, modulation)
-        rates = [rate for _, (d, rate) in zip(range(4), composite.segments())]
+        rates = [rate for _, (d, rate) in zip(range(4), composite.segments(), strict=False)]
         assert rates == [pytest.approx(1e6), pytest.approx(2e6)] * 2
 
     def test_segment_boundaries_merge(self, rng):
@@ -146,6 +145,6 @@ class TestComposite:
         base = ARLogNormalBandwidth(1e6, sigma=0.4, rng=rng)
         modulation = MarkovBandwidth([(1.2, 4.0), (0.6, 2.0)], rng)
         composite = CompositeBandwidth(base, modulation)
-        for _, (duration, rate) in zip(range(200), composite.segments()):
+        for _, (duration, rate) in zip(range(200), composite.segments(), strict=False):
             assert duration > 0
             assert rate > 0

@@ -135,7 +135,7 @@ class TestInterrupts:
 
     def test_interrupted_process_can_continue(self, env):
         def resilient(env):
-            try:
+            try:  # noqa: SIM105 — the except-around-yield IS the behaviour under test
                 yield env.timeout(100.0)
             except Interrupt:
                 pass

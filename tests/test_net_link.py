@@ -38,7 +38,7 @@ class TestMaxMinAllocation:
         rates = max_min_allocation(capacity, caps)
         assert len(rates) == len(caps)
         assert sum(rates) <= capacity * (1 + 1e-9)
-        for rate, cap in zip(rates, caps):
+        for rate, cap in zip(rates, caps, strict=True):
             assert 0.0 <= rate <= cap * (1 + 1e-9)
 
     @given(
@@ -49,7 +49,7 @@ class TestMaxMinAllocation:
         # Either the link is saturated or every flow is at its cap.
         rates = max_min_allocation(capacity, caps)
         saturated = sum(rates) >= capacity * (1 - 1e-9)
-        all_capped = all(r >= c * (1 - 1e-9) for r, c in zip(rates, caps))
+        all_capped = all(r >= c * (1 - 1e-9) for r, c in zip(rates, caps, strict=True))
         assert saturated or all_capped
 
     @staticmethod

@@ -116,7 +116,7 @@ class TestFromOutcomesAgainstLoops:
         ]
         assert [
             math.isnan(v) if math.isnan(e) else v == e
-            for v, e in zip(batch.startup.tolist(), expected_startup)
+            for v, e in zip(batch.startup.tolist(), expected_startup, strict=True)
         ] == [True] * len(population)
         assert batch.finished_at.tolist() == [o.finished_at for o in population]
         assert batch.total_stall.tolist() == [

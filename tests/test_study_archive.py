@@ -38,7 +38,7 @@ class TestRoundTrip:
         assert loaded.params == original.params
         assert loaded.axes == original.axes
         assert loaded.rendered == original.rendered
-        for mine, theirs in zip(original.cells, loaded.cells):
+        for mine, theirs in zip(original.cells, loaded.cells, strict=True):
             assert mine.overrides == theirs.overrides
             assert mine.params == theirs.params
 
