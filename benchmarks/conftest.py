@@ -14,6 +14,14 @@ default), ``auto`` (one worker process per CPU), or an integer worker
 count.  Trials derive independent seeds, so the archived panels are
 byte-identical whatever the backend; ``REPRO_TRIALS=20 REPRO_JOBS=auto``
 is the fast paper-fidelity run.
+
+Caching: ``REPRO_CACHE=DIR`` points every study at a content-addressed
+cell cache (:mod:`repro.study.cache`), so repeated bench invocations
+against the same code recompute nothing — useful when iterating on a
+bench's assertions rather than the simulation.  Cached panels are
+byte-identical to fresh ones, but the *timing* then measures the cache,
+so leave it unset for real measurements (``run_study`` passes the knob
+through explicitly for the same reason).
 """
 
 from __future__ import annotations
@@ -72,7 +80,7 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def run_study(benchmark, experiment_id, *, jobs=None, **params):
+def run_study(benchmark, experiment_id, *, jobs=None, cache=None, **params):
     """Run a registered experiment once via the study registry.
 
     The benches drive experiments by id through
@@ -82,13 +90,17 @@ def run_study(benchmark, experiment_id, *, jobs=None, **params):
     or params the schema rejects, fails here exactly like it fails on
     the command line.  ``tests/test_study_registry.py`` gates the
     inverse: every registered id is referenced by some bench file.
+
+    ``cache`` (or ``REPRO_CACHE``) points at a study cell cache — the
+    panel is byte-identical either way, but a hit measures the cache,
+    not the simulation.
     """
     from repro.study import run_experiment
 
     return benchmark.pedantic(
         run_experiment,
         args=(experiment_id,),
-        kwargs={"jobs": jobs, **params},
+        kwargs={"jobs": jobs, "cache": cache, **params},
         rounds=1,
         iterations=1,
     )

@@ -5,7 +5,9 @@ Builds a grid over two fig2 parameters (root seed x trial count), runs
 every cell as ONE merged pool submission (cells are byte-identical to
 running them alone — the grid only changes scheduling), then archives
 the StudyResult to a versioned JSON + npz pair and proves the reload
-is bit-identical.
+is bit-identical.  Finally reruns and widens the grid against a study
+cache (repro.study.cache): the rerun submits zero engine work units
+and the widened grid submits only the new cell, bit-identically.
 
 Run:  python examples/study_sweep.py [trials]
 """
@@ -38,6 +40,21 @@ def main() -> None:
         )
         cell = loaded.cell(seed=2015)
         print(f"cell(seed=2015) median reduction: {cell.result.raw['reduction']:.0%}")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        print("\ncontent-addressed cache demo (Study.run(cache=DIR)):")
+        first = study.run(cache=cache_dir)
+        print(f"  cold run : {first.cache_info}")
+        again = study.run(cache=cache_dir)
+        print(f"  rerun    : {again.cache_info}  <- zero work units")
+        widened = Study("fig2", trials=trials).grid(seed=[2014, 2015, 2016])
+        delta = widened.run(cache=cache_dir)
+        print(f"  widened  : {delta.cache_info}  <- only the new cell ran")
+        mismatches = first.column_mismatches(again)
+        print(
+            "  cached vs fresh: "
+            + ("bit-identical" if not mismatches else f"MISMATCH {mismatches}")
+        )
 
 
 if __name__ == "__main__":

@@ -9,6 +9,8 @@ Commands:
 * ``adaptive`` — run the DASH-extension player with a chosen controller;
 * ``list`` — show available experiments (from the registry) and
   profiles;
+* ``cache`` — inspect/maintain a study cell cache directory
+  (``ls`` / ``gc`` / ``verify``);
 * ``lint`` — run the AST-based determinism/invariant analyzer
   (:mod:`repro.lint`) over source paths.
 
@@ -29,7 +31,15 @@ experiment needs zero CLI edits.  Every id additionally accepts:
   run as one merged pool submission (``;`` separates tuple-valued
   cells: ``--grid prebuffers='20;40,60'``);
 * ``--save PATH`` — archive the :class:`~repro.study.StudyResult` to
-  ``PATH.json`` + ``PATH.npz``.
+  ``PATH.json`` + ``PATH.npz``;
+* ``--cache DIR`` / ``--resume DIR`` — consult a content-addressed
+  cell cache (:mod:`repro.study.cache`): cached cells are rebuilt from
+  ``DIR`` bit-identically and only the misses run (``REPRO_CACHE`` env
+  supplies a default).
+
+``cache {ls,gc,verify}`` maintain such a cache directory from the
+command line (list entries as a table or JSON manifest, collect stale
+entries, fully re-validate every entry).
 
 ``main`` returns process exit codes (argparse rejections included)
 instead of raising ``SystemExit``, so in-process callers get ``2`` for
@@ -68,7 +78,7 @@ CONTROLLERS = {
 #: argparse dests reserved by the generated experiment sub-commands; a
 #: schema param may not shadow them (enforced at parser build time).
 _RESERVED_DESTS = frozenset(
-    {"command", "id", "jobs", "ipc", "kernel", "save", "set", "grid"}
+    {"command", "id", "jobs", "ipc", "kernel", "save", "set", "grid", "cache"}
 )
 
 
@@ -167,6 +177,17 @@ def _experiment_parser(sub: argparse._SubParsersAction) -> None:
             metavar="PATH",
             help="archive the StudyResult to PATH.json + PATH.npz",
         )
+        parser.add_argument(
+            "--cache",
+            "--resume",
+            default=None,
+            metavar="DIR",
+            help="content-addressed cell cache: cells already in DIR are "
+            "rebuilt bit-identically and only the misses run, so a "
+            "repeated run submits zero work units and a widened --grid "
+            "submits only the new cells (--resume is the same flag under "
+            "its natural name; REPRO_CACHE env supplies a default)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,6 +222,45 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--itag", type=int, default=22, help="fixed controller's itag")
 
     sub.add_parser("list", help="list experiments and profiles")
+
+    cache = sub.add_parser(
+        "cache",
+        help="maintain a study cell cache directory (ls / gc / verify)",
+        description="Inspect and maintain a content-addressed study cache "
+        "as written by `repro experiment <id> --cache DIR`.  DIR may be "
+        "omitted when REPRO_CACHE is set.",
+    )
+    action = cache.add_subparsers(dest="action", required=True, metavar="ACTION")
+    cache_ls = action.add_parser("ls", help="list cache entries")
+    cache_ls.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full machine-readable cache manifest instead of a table",
+    )
+    cache_gc = action.add_parser(
+        "gc",
+        help="remove quarantined files, temp leftovers, and stale entries "
+        "(other cache/archive versions, outdated code fingerprints)",
+    )
+    cache_gc.add_argument(
+        "--all",
+        action="store_true",
+        dest="everything",
+        help="drop every entry, not just stale ones",
+    )
+    action.add_parser(
+        "verify",
+        help="fully load and re-key every entry; exit 1 if any is bad",
+    )
+    for sub_parser in (cache_ls, cache_gc, action.choices["verify"]):
+        sub_parser.add_argument(
+            "dir",
+            nargs="?",
+            default=None,
+            metavar="DIR",
+            help="cache directory (default: REPRO_CACHE)",
+        )
 
     add_lint_parser(sub)
     return parser
@@ -263,10 +323,23 @@ def _experiment_inputs(args: argparse.Namespace):
     grid: dict[str, list[str]] = {}
     for token in args.grid:
         key, value = _split_assignment(token, "--grid")
-        separator = ";" if ";" in value else ","
-        cells = [cell for cell in value.split(separator) if cell.strip()]
-        if not cells:
+        if key in grid:
+            raise ConfigError(
+                f"--grid {key} given twice; one axis per key (values are "
+                "comma- or ';'-separated in a single flag)"
+            )
+        if not value.strip():
             raise ConfigError(f"--grid {key} needs at least one value")
+        separator = ";" if ";" in value else ","
+        cells = value.split(separator)
+        # Empty items are a usage error, not something to silently drop:
+        # `--grid seed=1,,2` asked for three cells and must not quietly
+        # run two (the trailing-comma typo is the common case).
+        if any(not cell.strip() for cell in cells):
+            raise ConfigError(
+                f"--grid {key}={value} has an empty value; expected "
+                f"KEY=V1{separator}V2"
+            )
         grid[key] = cells
     return overrides, grid
 
@@ -286,8 +359,15 @@ def _command_experiment(args: argparse.Namespace) -> int:
             study = Study(args.id, **overrides)
             if grid:
                 study = study.grid(**grid)
-            result = study.run(engine=engine)
+            result = study.run(engine=engine, cache=args.cache)
         print(result.rendered)
+        if result.cache_info is not None:
+            info = result.cache_info
+            print(
+                f"cache: {info.hits} hit(s), {info.misses} miss(es), "
+                f"{info.submitted_units} work units submitted",
+                file=sys.stderr,
+            )
         if args.save:
             json_path, npz_path = result.save(args.save)
             print(
@@ -330,6 +410,54 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .study.cache import resolve_cache
+
+    try:
+        cache = resolve_cache(args.dir)
+        if cache is None:
+            raise ConfigError(
+                "no cache directory: pass DIR or set REPRO_CACHE"
+            )
+        if args.action == "ls":
+            if args.as_json:
+                print(json_module.dumps(cache.manifest(), indent=2, sort_keys=True))
+                return 0
+            entries = cache.entries()
+            if not entries:
+                print(f"cache {cache.root}: empty")
+                return 0
+            print(f"cache {cache.root}: {len(entries)} entr" + (
+                "y" if len(entries) == 1 else "ies"
+            ))
+            for entry in entries:
+                experiment = entry.meta.get("experiment", "?")
+                state = "ok" if entry.complete() else "incomplete"
+                if "error" in entry.meta and "format" not in entry.meta:
+                    state = "unreadable meta"
+                print(
+                    f"  {entry.key}  {experiment:8s} "
+                    f"{entry.size_bytes():>10d} B  {state}"
+                )
+            return 0
+        if args.action == "gc":
+            removed, freed = cache.gc(everything=args.everything)
+            print(f"cache gc: removed {removed} entr" + (
+                "y" if removed == 1 else "ies"
+            ) + f", freed {freed} bytes")
+            return 0
+        ok, bad = cache.verify()
+        print(f"cache verify: {len(ok)} ok, {len(bad)} bad")
+        for key, reason in bad:
+            print(f"  bad {key}: {reason}", file=sys.stderr)
+        return 1 if bad else 0
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     try:
         return command_lint(args)
@@ -343,6 +471,7 @@ _HANDLERS = {
     "experiment": _command_experiment,
     "adaptive": _command_adaptive,
     "list": _command_list,
+    "cache": _command_cache,
     "lint": _command_lint,
 }
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from functools import partial
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Collection, Sequence
 
 import numpy as np
 
@@ -490,8 +490,8 @@ class Campaign:
 
 
 def run_together(
-    campaigns: Sequence[Campaign], engine=None
-) -> list[dict[str, TrialResult]]:
+    campaigns: Sequence[Campaign], engine=None, *, skip: Collection[int] = ()
+) -> list[dict[str, TrialResult] | None]:
     """Run several same-kind campaigns as ONE engine submission.
 
     The merged-submission primitive under both :meth:`Campaign.run`
@@ -503,6 +503,15 @@ def run_together(
     byte-identical to running it alone; what merging buys is pool
     utilization — no barrier between cells, every worker busy across
     cell boundaries.
+
+    ``skip`` is the cache-aware partial-submission path: indices of
+    campaigns whose results are already known (e.g. grid cells rebuilt
+    from a :class:`~repro.study.cache.StudyCache`).  Skipped campaigns
+    contribute nothing to the pool submission — a fully-skipped call
+    never touches the engine at all — and their slots in the returned
+    list are ``None``; the others are demultiplexed back per
+    (campaign, label) in label order exactly as before, at their
+    original positions.
 
     All campaigns must be the same class (their demux hooks decide the
     result kind) and their specs must share one dense column layout,
@@ -517,11 +526,18 @@ def run_together(
         raise ConfigError(
             f"run_together needs same-kind campaigns, got {', '.join(names)}"
         )
-    if engine is None:
-        engine = campaigns[0].engine
+    skipped = set(skip)
+    unknown = skipped - set(range(len(campaigns)))
+    if unknown:
+        raise ConfigError(
+            f"run_together skip indices {sorted(unknown)} out of range for "
+            f"{len(campaigns)} campaign(s)"
+        )
     batches: list[list] = []
     owners: list[int] = []
     for index, campaign in enumerate(campaigns):
+        if index in skipped:
+            continue
         for batch in campaign._batches:
             batches.append(batch)
             owners.append(index)
@@ -532,13 +548,26 @@ def run_together(
             if rank < len(batch):
                 merged.append(batch[rank])
                 merged_owner.append(owner)
-    collection = collect_trials(engine, merged)
+    if merged:
+        if engine is None:
+            engine = campaigns[0].engine
+        collection = collect_trials(engine, merged)
+    else:
+        # Everything was skipped (or the campaigns were empty): no
+        # submission, no engine resolution — a fully-cached rerun must
+        # cost zero work units and must not even consult REPRO_JOBS.
+        collection = None
     rows_by_key: dict[tuple[int, str], list[int]] = {}
     for position, (spec, owner) in enumerate(zip(merged, merged_owner, strict=True)):
         rows_by_key.setdefault((owner, spec.label), []).append(position)
-    results: list[dict[str, TrialResult]] = []
+    results: list[dict[str, TrialResult] | None] = []
     for index, campaign in enumerate(campaigns):
+        if index in skipped:
+            results.append(None)
+            continue
         per_label: dict[str, TrialResult] = {}
+        # ``collection`` exists whenever any label does: labels imply
+        # non-empty batches, which imply a non-empty submission.
         for label in campaign._labels:
             rows = rows_by_key[(index, label)]
             if collection.columnar:

@@ -13,10 +13,14 @@ The public surface every scenario PR targets (see DESIGN.md
 * :func:`run_experiment` — one-shot convenience the legacy
   ``analysis.experiments`` wrappers delegate to;
 * :data:`SCHEMA_VERSION` and ``StudyResult.save()/load()`` — versioned
-  JSON + npz result archives.
+  JSON + npz result archives;
+* :class:`StudyCache` / :class:`CacheInfo` / :func:`code_fingerprint` /
+  :func:`resolve_cache` — the content-addressed cell cache behind
+  ``Study.run(cache=...)`` / ``REPRO_CACHE`` / ``repro cache``.
 """
 
 from .archive import ARCHIVE_FORMAT, SCHEMA_VERSION, load_study, save_study
+from .cache import CacheInfo, StudyCache, code_fingerprint, resolve_cache
 from .params import Param, ParamSchema, schema
 from .registry import (
     ExperimentDef,
@@ -29,18 +33,22 @@ from .study import Study, StudyCell, StudyResult, run_experiment
 
 __all__ = [
     "ARCHIVE_FORMAT",
+    "CacheInfo",
     "ExperimentDef",
     "ExperimentPlan",
     "Param",
     "ParamSchema",
     "SCHEMA_VERSION",
     "Study",
+    "StudyCache",
     "StudyCell",
     "StudyResult",
+    "code_fingerprint",
     "experiment_ids",
     "get_experiment",
     "load_study",
     "register",
+    "resolve_cache",
     "run_experiment",
     "save_study",
     "schema",

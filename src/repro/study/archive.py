@@ -19,9 +19,26 @@ any incompatible manifest change, and loads reject any other version
 outright (re-running an experiment is cheap and exact; migrating stale
 archives is not worth the code).
 
+Write guarantees:
+
+* **atomic** — both files are written to temp names in the target
+  directory and committed with ``os.replace`` (payload first, manifest
+  second), so a crash mid-save never leaves a manifest whose payload is
+  missing or half-written; a manifest-without-payload pair can only
+  come from outside interference and loads as a distinct torn-archive
+  error;
+* **byte-deterministic** — the npz payload is written through an
+  explicit zip writer with pinned member metadata, so saving the same
+  :class:`StudyResult` twice produces byte-identical files (the study
+  cache's repeated-run acceptance check is a literal ``cmp``).
+
 Round-trip guarantees (held by ``tests/test_study_archive.py``):
 
 * dense columns are bit-identical after save → load (NaN included);
+  the manifest records every column's dtype and shape
+  (``column_meta``) and the loader checks the payload against it, so a
+  truncated or hand-edited npz fails here instead of surfacing as a
+  numpy broadcast error downstream;
 * metadata survives modulo JSON's tuple→list collapse — params are
   re-coerced through the experiment's schema on load, which restores
   tuples for ``many`` params.
@@ -29,7 +46,12 @@ Round-trip guarantees (held by ``tests/test_study_archive.py``):
 
 from __future__ import annotations
 
+import io
+import itertools
 import json
+import os
+import zipfile
+from contextlib import suppress
 from pathlib import Path
 from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any
@@ -48,7 +70,9 @@ __all__ = ["ARCHIVE_FORMAT", "SCHEMA_VERSION", "load_study", "save_study"]
 ARCHIVE_FORMAT = "repro-study"
 
 #: Bump on incompatible manifest changes; loads reject other versions.
-SCHEMA_VERSION = 1
+#: v2 added ``column_meta`` (per-column dtype/shape the loader checks
+#: the payload against).
+SCHEMA_VERSION = 2
 
 #: Separator for npz keys (``cell::label::column``).  ``/`` would turn
 #: npz member names into nested zip paths; labels may contain ``/``
@@ -93,8 +117,48 @@ def _paths(path: str | Path) -> tuple[Path, Path]:
     return Path(f"{path}.json"), Path(f"{path}.npz")
 
 
+#: Per-process counter for unique temp names (pid disambiguates across
+#: processes, the counter across threads of one process).
+_TMP_COUNTER = itertools.count()
+
+
+def _tmp_path(path: Path) -> Path:
+    return path.with_name(f"{path.name}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}")
+
+
+def _write_npz(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write an npz payload with byte-deterministic output.
+
+    ``np.savez`` round-trips the array bits exactly, but its zip member
+    metadata (timestamps) is numpy-version-dependent; writing the
+    members explicitly with pinned ``ZipInfo`` fields makes the *file
+    bytes* a pure function of the arrays, which is what lets the study
+    cache assert "second run produced the identical archive" with a
+    plain byte compare.  Uncompressed (``ZIP_STORED``) like
+    ``np.savez``: the columns are small and loads skip decompression.
+    """
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name, array in arrays.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.asanyarray(array), allow_pickle=False
+            )
+            member = zipfile.ZipInfo(f"{name}.npy", date_time=(1980, 1, 1, 0, 0, 0))
+            member.compress_type = zipfile.ZIP_STORED
+            archive.writestr(member, buffer.getvalue())
+
+
 def save_study(result: StudyResult, path: str | Path) -> tuple[str, str]:
-    """Write ``result`` to ``<path>.json`` + ``<path>.npz``."""
+    """Write ``result`` to ``<path>.json`` + ``<path>.npz`` atomically.
+
+    Both files land under temp names first and are committed with
+    ``os.replace`` — payload before manifest, so no reader (or crash)
+    can ever observe a manifest whose payload has not been fully
+    written.  Concurrent saves of the same base are last-writer-wins
+    with both files valid, which is exactly what a content-addressed
+    cache directory needs (two processes storing the same key wrote the
+    same bytes anyway).
+    """
     json_path, npz_path = _paths(path)
     json_path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
@@ -122,12 +186,21 @@ def save_study(result: StudyResult, path: str | Path) -> tuple[str, str]:
         "axes": _jsonify(result.axes),
         "cells": cells,
         "columns": sorted(arrays),
+        "column_meta": {
+            key: {"dtype": column.dtype.str, "shape": list(column.shape)}
+            for key, column in sorted(arrays.items())
+        },
     }
-    json_path.write_text(json.dumps(manifest, indent=2) + "\n")
-    # Uncompressed on purpose: bit-exactness is the contract and the
-    # columns are small; savez_compressed would also round-trip exactly
-    # but costs decompression on every load.
-    np.savez(npz_path, **arrays)
+    json_tmp, npz_tmp = _tmp_path(json_path), _tmp_path(npz_path)
+    try:
+        _write_npz(npz_tmp, arrays)
+        json_tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(npz_tmp, npz_path)
+        os.replace(json_tmp, json_path)
+    finally:
+        for leftover in (npz_tmp, json_tmp):
+            with suppress(OSError):
+                leftover.unlink()
     return str(json_path), str(npz_path)
 
 
@@ -140,6 +213,7 @@ _MANIFEST_TYPES = {
     "axes": dict,
     "cells": list,
     "columns": list,
+    "column_meta": dict,
 }
 
 _CELL_TYPES = {
@@ -149,6 +223,42 @@ _CELL_TYPES = {
     "rendered": str,
     "raw": dict,
 }
+
+
+def _check_column_meta(
+    meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray], json_path: Path
+) -> None:
+    """Validate payload arrays against the manifest's dtype/shape record.
+
+    A truncated member, a hand-edited payload, or a dtype drift (e.g. an
+    int64 column rewritten as int32) dies here with the offending column
+    named, instead of as a numpy broadcast/astype error deep inside the
+    analysis layer.
+    """
+    if sorted(meta) != sorted(arrays):
+        raise ConfigError(
+            f"study archive {json_path}: column_meta does not cover the "
+            "manifest's columns"
+        )
+    for key, column in arrays.items():
+        entry = meta[key]
+        if not isinstance(entry, dict) or not isinstance(entry.get("dtype"), str) or not isinstance(
+            entry.get("shape"), list
+        ):
+            raise ConfigError(
+                f"study archive {json_path}: column_meta[{key!r}] must be an "
+                "object with 'dtype' and 'shape'"
+            )
+        if column.dtype.str != entry["dtype"]:
+            raise ConfigError(
+                f"study archive {json_path}: column {key!r} has dtype "
+                f"{column.dtype.str!r}, manifest says {entry['dtype']!r}"
+            )
+        if list(column.shape) != entry["shape"]:
+            raise ConfigError(
+                f"study archive {json_path}: column {key!r} has shape "
+                f"{list(column.shape)}, manifest says {entry['shape']}"
+            )
 
 
 def _check(mapping: Mapping, types: Mapping[str, type], where: str) -> None:
@@ -195,13 +305,29 @@ def load_study(path: str | Path) -> StudyResult:
         )
     schema = definition.schema
     if not npz_path.exists():
-        raise ConfigError(f"study archive payload not found: {npz_path}")
-    with np.load(npz_path) as payload:
-        arrays = {key: payload[key] for key in payload.files}
+        raise ConfigError(
+            f"study archive payload not found: {npz_path} (torn archive: the "
+            "manifest exists without its npz payload — the pair was partially "
+            "copied or the payload deleted; saves are atomic, so re-run or "
+            "re-copy the archive)"
+        )
+    try:
+        # Hold the file handle ourselves: np.load on a truncated zip
+        # raises while constructing the NpzFile, before anything owns
+        # (and would close) the handle it opened from a path.
+        with open(npz_path, "rb") as stream:
+            with np.load(stream, allow_pickle=False) as payload:
+                arrays = {key: payload[key] for key in payload.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) as exc:
+        raise ConfigError(
+            f"study archive payload {npz_path} is not a readable npz archive "
+            f"(truncated or corrupt): {exc}"
+        ) from None
     if sorted(arrays) != sorted(manifest["columns"]):
         raise ConfigError(
             f"study archive {json_path}: npz columns do not match the manifest"
         )
+    _check_column_meta(manifest["column_meta"], arrays, json_path)
     cells = []
     for index, cell in enumerate(manifest["cells"]):
         if not isinstance(cell, dict):

@@ -77,7 +77,19 @@ class Param:
         if isinstance(value, str):
             token = value.strip()
             if self.parse is not None:
-                value = self.parse(token)
+                try:
+                    value = self.parse(token)
+                except ConfigError:
+                    raise
+                except (TypeError, ValueError) as exc:
+                    # A parse callable that raises raw ValueError (plain
+                    # int/float, or a third-party parser) must surface as
+                    # the same one-line usage error the schema's own
+                    # checks produce — these strings reach the CLI as
+                    # exit-code-2 messages, never tracebacks.
+                    raise ConfigError(
+                        f"param {self.name!r}: cannot read {token!r}: {exc}"
+                    ) from None
             elif self.type is bool:
                 lowered = token.lower()
                 if lowered in ("1", "true", "yes", "on"):

@@ -37,7 +37,7 @@ import os
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
 from collections.abc import Iterator, Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -46,6 +46,9 @@ from ..net.calendar import resolve_kernel, set_default_kernel
 from ..sim.campaign import run_together
 from ..sim.execution import ExecutionEngine, resolve_engine
 from .registry import ExperimentDef, get_experiment
+
+if TYPE_CHECKING:  # import cycle: cache.py imports this module lazily
+    from .cache import CacheInfo, StudyCache
 
 __all__ = ["Study", "StudyCell", "StudyResult", "run_experiment"]
 
@@ -150,6 +153,11 @@ class StudyResult:
         self.params = params
         self.axes = axes
         self.cells = cells
+        #: Cache accounting for the run that produced this result
+        #: (:class:`~repro.study.cache.CacheInfo`); ``None`` when no
+        #: cache was consulted (and always ``None`` on a loaded
+        #: archive — it is run metadata, not part of the result).
+        self.cache_info: CacheInfo | None = None
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -293,6 +301,7 @@ class Study:
         ipc: str | None = None,
         engine: ExecutionEngine | None = None,
         kernel: str | None = None,
+        cache: "str | StudyCache | None" = None,
     ) -> StudyResult:
         """Execute every cell as one merged engine submission.
 
@@ -303,9 +312,24 @@ class Study:
         byte-identical to running each alone — the grid only changes
         scheduling, never outcomes (and the kernels are dispatch-order
         identical, so neither does the kernel).
+
+        ``cache`` names a content-addressed cell cache directory (a
+        :class:`~repro.study.cache.StudyCache` also works; ``None``
+        consults ``REPRO_CACHE``).  Cells whose archives are already
+        cached are rebuilt from disk and only the misses go to the
+        engine — a repeated run submits zero work units, a widened grid
+        submits the delta cells — and every fresh cell is stored back.
+        Cached and fresh cells are bit-identical (the archive round
+        trip is exact), so the cache changes cost, never results.  The
+        cache key deliberately excludes the backend/ipc/kernel choice:
+        those are byte-identity-equivalent by the determinism wall, so
+        a cache written under one serves runs under any other.
+        Accounting lands in ``StudyResult.cache_info``.
         """
+        from .cache import CacheInfo, code_fingerprint, resolve_cache
+
+        study_cache = resolve_cache(cache)
         with _ipc_override(ipc), _kernel_override(kernel):
-            engine = engine if engine is not None else resolve_engine(jobs)
             cell_overrides = self.cells()
             plans = []
             cell_params = []
@@ -314,25 +338,58 @@ class Study:
                 params.update(overrides)
                 plans.append(self.definition.build(params))
                 cell_params.append(params)
-            per_cell = run_together([plan.campaign for plan in plans], engine)
+            cached: dict[int, StudyCell] = {}
+            fingerprint = "" if study_cache is None else code_fingerprint()
+            if study_cache is not None:
+                for index, params in enumerate(cell_params):
+                    hit = study_cache.lookup(self.definition, params, fingerprint)
+                    if hit is not None:
+                        cached[index] = hit
+            if engine is None and len(cached) < len(plans):
+                engine = resolve_engine(jobs)
+            per_cell = run_together(
+                [plan.campaign for plan in plans], engine, skip=cached.keys()
+            )
         cells = []
+        submitted = 0
         for index, (plan, results) in enumerate(zip(plans, per_cell, strict=True)):
-            cells.append(
-                StudyCell(
+            if index in cached:
+                hit = cached[index]
+                cell = StudyCell(
+                    index=index,
+                    overrides=cell_overrides[index],
+                    params=cell_params[index],
+                    result=hit.result,
+                    columns=hit.columns,
+                )
+            else:
+                submitted += len(plan.campaign)
+                cell = StudyCell(
                     index=index,
                     overrides=cell_overrides[index],
                     params=cell_params[index],
                     result=plan.render(results),
                     columns=_batch_columns(results),
                 )
-            )
-        return StudyResult(
+                if study_cache is not None:
+                    study_cache.store(
+                        self.definition, cell_params[index], cell, fingerprint
+                    )
+            cells.append(cell)
+        result = StudyResult(
             experiment_id=self.experiment_id,
             kind=self.definition.kind,
             params=dict(self.params),
             axes={name: list(values) for name, values in self._axes.items()},
             cells=cells,
         )
+        if study_cache is not None:
+            result.cache_info = CacheInfo(
+                hits=len(cached),
+                misses=len(cells) - len(cached),
+                submitted_units=submitted,
+            )
+        return result
 
 
 def run_experiment(
@@ -340,6 +397,7 @@ def run_experiment(
     jobs: int | str | ExecutionEngine | None = None,
     ipc: str | None = None,
     kernel: str | None = None,
+    cache: "str | StudyCache | None" = None,
     **params: Any,
 ):
     """One-shot convenience: run a registered experiment, return its
@@ -349,4 +407,9 @@ def run_experiment(
     (``fig2_prebuffer_testbed(...)`` and friends) delegate here, so the
     legacy call surface and the Study surface are the same code path.
     """
-    return Study(experiment_id, **params).run(jobs=jobs, ipc=ipc, kernel=kernel).only().result
+    return (
+        Study(experiment_id, **params)
+        .run(jobs=jobs, ipc=ipc, kernel=kernel, cache=cache)
+        .only()
+        .result
+    )

@@ -237,3 +237,144 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "mean bitrate" in output
+
+
+class TestGridUsageErrors:
+    """`--grid` typos die as exit-code-2 usage errors, never run short."""
+
+    def test_empty_item_exits_2(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--trials", "1", "--grid", "seed=1,,2"]
+        )
+        assert code == 2
+        assert "empty value" in capsys.readouterr().err
+
+    def test_trailing_comma_exits_2(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--trials", "1", "--grid", "seed=1,2,"]
+        )
+        assert code == 2
+        assert "empty value" in capsys.readouterr().err
+
+    def test_empty_semicolon_cell_exits_2(self, capsys):
+        code = main(
+            ["experiment", "fig4", "--trials", "1",
+             "--grid", "prebuffers=20;;40"]
+        )
+        assert code == 2
+        assert "empty value" in capsys.readouterr().err
+
+    def test_all_empty_value_exits_2(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--trials", "1", "--grid", "seed="]
+        )
+        assert code == 2
+        assert "at least one value" in capsys.readouterr().err
+
+    def test_duplicate_axis_exits_2(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--trials", "1",
+             "--grid", "seed=1", "--grid", "seed=2"]
+        )
+        assert code == 2
+        assert "given twice" in capsys.readouterr().err
+
+    def test_choice_value_containing_equals_exits_2_cleanly(self, capsys):
+        # The value is split on the FIRST '=', so 'schedulers=harmonic=2'
+        # aims the bogus choice 'harmonic=2' at the schema — a one-line
+        # usage error, not a traceback or a silently truncated value.
+        code = main(
+            ["experiment", "fig3", "--trials", "1",
+             "--grid", "schedulers=harmonic=2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "harmonic=2" in err and err.startswith("error:")
+
+
+class TestCacheCLI:
+    def _sweep(self, tmp_path, *extra):
+        return main(
+            ["experiment", "fig2", "--trials", "2",
+             "--grid", "seed=2014,2015", "--cache", str(tmp_path / "cache"),
+             *extra]
+        )
+
+    def test_cache_flag_reports_and_resume_hits(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        first = capsys.readouterr()
+        assert "2 miss(es)" in first.err
+        # --resume is the same flag under its natural name.
+        code = main(
+            ["experiment", "fig2", "--trials", "2",
+             "--grid", "seed=2014,2015", "--resume", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        second = capsys.readouterr()
+        assert "0 work units submitted" in second.err
+        assert first.out == second.out
+
+    def test_cached_save_is_byte_identical(self, tmp_path, capsys):
+        assert self._sweep(tmp_path, "--save", str(tmp_path / "a")) == 0
+        assert self._sweep(tmp_path, "--save", str(tmp_path / "b")) == 0
+        capsys.readouterr()
+        for suffix in (".json", ".npz"):
+            first = (tmp_path / "a").with_suffix(suffix).read_bytes()
+            second = (tmp_path / "b").with_suffix(suffix).read_bytes()
+            assert first == second, suffix
+
+    def test_no_cache_flag_no_summary_line(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert main(["experiment", "fig2", "--trials", "1"]) == 0
+        assert "work units submitted" not in capsys.readouterr().err
+
+    def test_repro_cache_env_is_the_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        assert main(["experiment", "fig2", "--trials", "1"]) == 0
+        assert "1 miss(es)" in capsys.readouterr().err
+        assert main(["experiment", "fig2", "--trials", "1"]) == 0
+        assert "0 work units submitted" in capsys.readouterr().err
+
+    def test_cache_ls_gc_verify(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", cache_dir]) == 0
+        listing = capsys.readouterr().out
+        assert "2 entries" in listing and "fig2" in listing
+        assert main(["cache", "ls", "--json", cache_dir]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert len(manifest["entries"]) == 2
+        assert all(entry["complete"] for entry in manifest["entries"])
+        assert main(["cache", "verify", cache_dir]) == 0
+        assert "2 ok, 0 bad" in capsys.readouterr().out
+        assert main(["cache", "gc", cache_dir]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["cache", "gc", "--all", cache_dir]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "ls", cache_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_verify_flags_corruption(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        victim = sorted((cache_dir / "entries").glob("*.npz"))[0]
+        victim.write_bytes(b"junk")
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "1 ok, 1 bad" in captured.out
+        assert "bad" in captured.err
+
+    def test_cache_without_dir_or_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        for action in ("ls", "gc", "verify"):
+            assert main(["cache", action]) == 2
+            assert "no cache directory" in capsys.readouterr().err
+
+    def test_cache_env_supplies_the_dir(self, tmp_path, capsys, monkeypatch):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        assert main(["cache", "ls"]) == 0
+        assert "2 entries" in capsys.readouterr().out

@@ -145,6 +145,51 @@ class TestRunTogether:
             assert solo[label].mean_error == together[label].mean_error
 
 
+class TestRunTogetherSkip:
+    """The cache-aware partial-submission path (``skip=``)."""
+
+    def _campaigns(self, count=2):
+        definition = get_experiment("fig2")
+        return [
+            definition.build(
+                definition.schema.resolve({"trials": 2, "seed": 2014 + offset})
+            ).campaign
+            for offset in range(count)
+        ]
+
+    def test_skipped_slots_are_none_others_unchanged(self):
+        campaigns = self._campaigns(3)
+        full = run_together(self._campaigns(3), SerialEngine())
+        partial = run_together(campaigns, SerialEngine(), skip=[1])
+        assert partial[1] is None
+        for index in (0, 2):
+            assert sorted(partial[index]) == sorted(full[index])
+            for label in full[index]:
+                assert (
+                    partial[index][label].startup_delays()
+                    == full[index][label].startup_delays()
+                )
+
+    def test_fully_skipped_call_never_touches_the_engine(self):
+        class ExplodingEngine(SerialEngine):
+            def map(self, specs):
+                raise AssertionError("engine must not be consulted")
+
+        results = run_together(
+            self._campaigns(2), ExplodingEngine(), skip=[0, 1]
+        )
+        assert results == [None, None]
+
+    def test_fully_skipped_call_accepts_engine_none(self):
+        assert run_together(self._campaigns(2), None, skip=[0, 1]) == [None, None]
+
+    def test_skip_index_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            run_together(self._campaigns(2), SerialEngine(), skip=[2])
+        with pytest.raises(ConfigError, match="out of range"):
+            run_together(self._campaigns(2), SerialEngine(), skip=[-1])
+
+
 class TestUniformJobsPlumbing:
     """Satellite: fig1 and x3 honor the jobs knob like everyone else."""
 

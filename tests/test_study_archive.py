@@ -156,3 +156,95 @@ class TestRejection:
         json_path.write_text("{not json")
         with pytest.raises(ConfigError, match="JSON"):
             StudyResult.load(json_path)
+
+    def test_torn_archive_names_the_failure_mode(self, archived):
+        _, json_path, npz_path = archived
+        pathlib.Path(npz_path).unlink()
+        with pytest.raises(ConfigError, match="torn archive"):
+            StudyResult.load(json_path)
+
+    def test_truncated_npz_is_a_config_error(self, archived):
+        _, json_path, npz_path = archived
+        payload = pathlib.Path(npz_path)
+        payload.write_bytes(payload.read_bytes()[:100])
+        with pytest.raises(ConfigError, match="truncated or corrupt"):
+            StudyResult.load(json_path)
+
+    def test_garbage_npz_is_a_config_error(self, archived):
+        _, json_path, npz_path = archived
+        pathlib.Path(npz_path).write_bytes(b"PK\x03\x04 this is not a zip")
+        with pytest.raises(ConfigError, match="npz"):
+            StudyResult.load(json_path)
+
+
+class TestColumnMeta:
+    """The manifest's dtype/shape declarations guard the npz payload."""
+
+    def _rewrite_meta(self, json_path, mutate):
+        path = pathlib.Path(json_path)
+        manifest = json.loads(path.read_text())
+        mutate(manifest["column_meta"])
+        path.write_text(json.dumps(manifest))
+
+    def test_manifest_declares_every_column(self, archived):
+        _, json_path, _ = archived
+        manifest = json.loads(pathlib.Path(json_path).read_text())
+        assert sorted(manifest["column_meta"]) == sorted(manifest["columns"])
+        for meta in manifest["column_meta"].values():
+            assert set(meta) == {"dtype", "shape"}
+
+    def test_dtype_drift_is_a_config_error(self, archived):
+        _, json_path, _ = archived
+
+        def flip_dtype(column_meta):
+            key = sorted(column_meta)[0]
+            column_meta[key]["dtype"] = "<i2"
+
+        self._rewrite_meta(json_path, flip_dtype)
+        with pytest.raises(ConfigError, match="dtype"):
+            StudyResult.load(json_path)
+
+    def test_shape_drift_is_a_config_error(self, archived):
+        _, json_path, _ = archived
+
+        def grow_shape(column_meta):
+            key = sorted(column_meta)[0]
+            column_meta[key]["shape"] = [999]
+
+        self._rewrite_meta(json_path, grow_shape)
+        with pytest.raises(ConfigError, match="shape"):
+            StudyResult.load(json_path)
+
+    def test_undeclared_column_is_a_config_error(self, archived):
+        _, json_path, _ = archived
+
+        def drop_one(column_meta):
+            del column_meta[sorted(column_meta)[0]]
+
+        self._rewrite_meta(json_path, drop_one)
+        with pytest.raises(ConfigError, match="column_meta"):
+            StudyResult.load(json_path)
+
+
+class TestAtomicDeterministicWrites:
+    def test_repeated_saves_are_byte_identical(self, grid_result, tmp_path):
+        grid_result.save(tmp_path / "a")
+        grid_result.save(tmp_path / "b")
+        for suffix in (".json", ".npz"):
+            first = (tmp_path / "a").with_suffix(suffix).read_bytes()
+            second = (tmp_path / "b").with_suffix(suffix).read_bytes()
+            assert first == second, suffix
+
+    def test_save_overwrites_in_place_atomically(self, grid_result, tmp_path):
+        json_path, npz_path = grid_result.save(tmp_path / "a")
+        before = pathlib.Path(npz_path).read_bytes()
+        grid_result.save(tmp_path / "a")
+        assert pathlib.Path(npz_path).read_bytes() == before
+        assert StudyResult.load(json_path).rendered == grid_result.rendered
+
+    def test_no_temp_files_left_behind(self, grid_result, tmp_path):
+        grid_result.save(tmp_path / "a")
+        leftovers = [
+            path.name for path in tmp_path.iterdir() if ".tmp-" in path.name
+        ]
+        assert leftovers == []
