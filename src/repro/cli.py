@@ -11,6 +11,9 @@ Commands:
   profiles;
 * ``cache`` — inspect/maintain a study cell cache directory
   (``ls`` / ``gc`` / ``verify``);
+* ``serve`` — run the study-service broker (sqlite queue + HTTP front
+  end; :mod:`repro.serve`);
+* ``worker`` — run a pull worker against a broker URL;
 * ``lint`` — run the AST-based determinism/invariant analyzer
   (:mod:`repro.lint`) over source paths.
 
@@ -35,7 +38,10 @@ experiment needs zero CLI edits.  Every id additionally accepts:
 * ``--cache DIR`` / ``--resume DIR`` — consult a content-addressed
   cell cache (:mod:`repro.study.cache`): cached cells are rebuilt from
   ``DIR`` bit-identically and only the misses run (``REPRO_CACHE`` env
-  supplies a default).
+  supplies a default);
+* ``--backend service --broker URL`` — ship the study to a broker and
+  let a worker fleet execute it (:mod:`repro.serve`); the returned
+  archive is byte-identical to a local run.
 
 ``cache {ls,gc,verify}`` maintain such a cache directory from the
 command line (list entries as a table or JSON manifest, collect stale
@@ -78,7 +84,19 @@ CONTROLLERS = {
 #: argparse dests reserved by the generated experiment sub-commands; a
 #: schema param may not shadow them (enforced at parser build time).
 _RESERVED_DESTS = frozenset(
-    {"command", "id", "jobs", "ipc", "kernel", "save", "set", "grid", "cache"}
+    {
+        "command",
+        "id",
+        "jobs",
+        "ipc",
+        "kernel",
+        "save",
+        "set",
+        "grid",
+        "cache",
+        "backend",
+        "broker",
+    }
 )
 
 
@@ -188,6 +206,23 @@ def _experiment_parser(sub: argparse._SubParsersAction) -> None:
             "submits only the new cells (--resume is the same flag under "
             "its natural name; REPRO_CACHE env supplies a default)",
         )
+        parser.add_argument(
+            "--backend",
+            choices=("local", "service"),
+            default="local",
+            help="'local' executes in this process (--jobs semantics); "
+            "'service' ships the study to a broker (repro serve) and a "
+            "pull-worker fleet executes it — results byte-identical "
+            "either way",
+        )
+        parser.add_argument(
+            "--broker",
+            default=None,
+            metavar="URL",
+            help="broker URL for --backend service "
+            "(e.g. http://127.0.0.1:8742; REPRO_BROKER env supplies a "
+            "default)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,6 +296,102 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="cache directory (default: REPRO_CACHE)",
         )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the study-service broker (sqlite queue + HTTP front end)",
+        description="Accept study submissions over HTTP, expand them into "
+        "per-cell work units in a sqlite-backed queue, and hand leases to "
+        "pull workers (`repro worker URL`).  With --cache DIR the broker "
+        "consults the content-addressed cell cache at submit time, so "
+        "resubmitted studies enqueue zero work units.",
+    )
+    serve.add_argument(
+        "--db",
+        default="broker.sqlite3",
+        metavar="PATH",
+        help="sqlite queue file; restarting on the same file resumes "
+        "in-flight jobs (default: %(default)s)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8742)
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="a leased cell whose worker misses heartbeats for this long "
+        "is requeued (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts before a cell is quarantined as poisoned "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="broker-side study cell cache (default: REPRO_CACHE if set)",
+    )
+    serve.add_argument(
+        "--fastapi",
+        action="store_true",
+        help="serve through FastAPI/uvicorn (needs the 'serve' extra) "
+        "instead of the stdlib http.server",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a pull worker against a broker URL",
+        description="Lease cells from a broker, execute them locally, and "
+        "stream results back.  Heartbeats keep the lease alive during long "
+        "cells; a crashed worker's leases expire and requeue on the broker.",
+    )
+    worker.add_argument(
+        "url",
+        nargs="?",
+        default=None,
+        metavar="URL",
+        help="broker URL (default: REPRO_BROKER)",
+    )
+    worker.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="execution backend for each cell, as in `repro experiment "
+        "--jobs` (default: REPRO_JOBS or serial)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle sleep between lease attempts (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after processing N cells (default: run forever)",
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="drain the queue and exit when it is empty",
+    )
+    worker.add_argument(
+        "--id",
+        default=None,
+        dest="worker_id",
+        metavar="NAME",
+        help="worker name shown in broker logs/status "
+        "(default: <hostname>-<pid>)",
+    )
 
     add_lint_parser(sub)
     return parser
@@ -354,8 +485,26 @@ def _command_experiment(args: argparse.Namespace) -> int:
         from .study.study import _ipc_override, _kernel_override
 
         overrides, grid = _experiment_inputs(args)
+        if args.backend == "service":
+            if args.cache is not None:
+                raise ConfigError(
+                    "--cache is broker-side under --backend service; start "
+                    "the broker with `repro serve --cache DIR` instead"
+                )
+            if args.jobs is not None:
+                raise ConfigError(
+                    "--jobs applies to the local backend; under --backend "
+                    "service each worker picks its own (`repro worker --jobs N`)"
+                )
+        elif args.broker is not None:
+            raise ConfigError("--broker requires --backend service")
         with _ipc_override(args.ipc), _kernel_override(args.kernel):
-            engine = resolve_engine(args.jobs)
+            if args.backend == "service":
+                from .serve.engine import ServiceEngine
+
+                engine = ServiceEngine(args.broker)
+            else:
+                engine = resolve_engine(args.jobs)
             study = Study(args.id, **overrides)
             if grid:
                 study = study.grid(**grid)
@@ -458,6 +607,71 @@ def _command_cache(args: argparse.Namespace) -> int:
         return 2
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve.broker import Broker
+    from .study.cache import resolve_cache
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    try:
+        broker = Broker(
+            args.db,
+            cache=resolve_cache(args.cache),
+            lease_timeout=args.lease_timeout,
+            max_attempts=args.max_attempts,
+            log=log,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        log(f"[serve] broker db {args.db}; listening on {args.host}:{args.port}")
+        if args.fastapi:
+            from .serve.app import serve_uvicorn
+
+            serve_uvicorn(broker, args.host, args.port)
+        else:
+            from .serve.httpd import run_server
+
+            run_server(broker, args.host, args.port)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        broker.close()
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .serve.engine import resolve_broker
+    from .serve.worker import run_worker
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    try:
+        client = resolve_broker(args.url)
+        processed = run_worker(
+            client,
+            jobs=args.jobs,
+            poll=args.poll,
+            max_cells=args.max_cells,
+            once=args.once,
+            worker_id=args.worker_id,
+            log=log,
+        )
+        log(f"[worker] processed {processed} cell(s)")
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     try:
         return command_lint(args)
@@ -472,6 +686,8 @@ _HANDLERS = {
     "adaptive": _command_adaptive,
     "list": _command_list,
     "cache": _command_cache,
+    "serve": _command_serve,
+    "worker": _command_worker,
     "lint": _command_lint,
 }
 

@@ -21,6 +21,16 @@ class UnitParseError(ConfigError):
     """A human-readable unit string (e.g. ``"256KB"``) could not be parsed."""
 
 
+class ServiceError(ConfigError):
+    """The study service (broker, worker, or client) failed or was misused.
+
+    A :class:`ConfigError` subclass on purpose: callers that already
+    catch configuration problems at API boundaries (the CLI handlers,
+    ``Study.run`` users) report service failures the same way — one
+    line, exit code 2 — instead of needing a new except arm.
+    """
+
+
 # --------------------------------------------------------------------------
 # Simulation kernel
 # --------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+"""Optional FastAPI front end (the ``serve`` extra).
+
+The stdlib :mod:`repro.serve.httpd` server is the tested reference —
+this module exposes the *same* wire surface on FastAPI/uvicorn for
+deployments that want an ASGI stack (OpenAPI docs, middleware, real
+concurrency limits).  Strictly optional: importing :mod:`repro.serve`
+never touches it, and building the app without the extra installed
+raises a one-line :class:`~repro.errors.ConfigError` naming it.
+
+Everything here is a thin translation layer over the same
+:class:`~repro.serve.broker.Broker` the stdlib server uses, so the two
+front ends cannot drift in behavior — only in plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigError, ReproError
+from .broker import Broker
+
+__all__ = ["create_app", "serve_uvicorn"]
+
+_EXTRA_HINT = (
+    "the FastAPI front end needs the optional 'serve' extra "
+    "(pip install 'repro-msplayer[serve]'); `repro serve` without "
+    "--fastapi runs the dependency-free stdlib server"
+)
+
+
+def create_app(broker: Broker) -> Any:  # pragma: no cover - needs the extra
+    """Build the FastAPI app mirroring :mod:`repro.serve.httpd`."""
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse
+    except ImportError:
+        raise ConfigError(_EXTRA_HINT) from None
+
+    import base64
+
+    app = FastAPI(title="repro study service", version="1")
+
+    @app.exception_handler(ReproError)
+    async def _repro_error(request: Request, exc: ReproError) -> JSONResponse:
+        return JSONResponse(status_code=400, content={"error": str(exc)})
+
+    @app.get("/api/v1/health")
+    async def health() -> dict:
+        return {"ok": True}
+
+    @app.post("/api/v1/studies")
+    async def submit(payload: dict) -> dict:
+        return broker.submit(payload)
+
+    @app.get("/api/v1/studies/{job_id}")
+    async def status(job_id: str) -> dict:
+        return broker.status(job_id)
+
+    @app.get("/api/v1/studies/{job_id}/cells/{cell}/result")
+    async def result(job_id: str, cell: int) -> dict:
+        manifest, npz = broker.result(job_id, cell)
+        return {
+            "manifest_text": manifest,
+            "npz_b64": base64.b64encode(npz).decode(),
+        }
+
+    @app.post("/api/v1/lease")
+    async def lease(payload: dict) -> Any:
+        return broker.lease(str(payload.get("worker") or "?"))
+
+    @app.post("/api/v1/heartbeat")
+    async def heartbeat(payload: dict) -> dict:
+        return {"ok": broker.heartbeat(str(payload.get("lease_id") or ""))}
+
+    @app.post("/api/v1/complete")
+    async def complete(payload: dict) -> dict:
+        return broker.complete(
+            str(payload.get("job_id") or ""),
+            int(payload.get("cell") or 0),
+            str(payload.get("manifest_text") or ""),
+            base64.b64decode(str(payload.get("npz_b64") or "")),
+            lease_id=payload.get("lease_id"),
+            worker=payload.get("worker"),
+        )
+
+    @app.post("/api/v1/fail")
+    async def fail(payload: dict) -> dict:
+        return broker.fail(
+            str(payload.get("lease_id") or ""),
+            str(payload.get("error") or "worker-reported failure"),
+        )
+
+    return app
+
+
+def serve_uvicorn(
+    broker: Broker, host: str, port: int
+) -> None:  # pragma: no cover - needs the extra
+    """Run the FastAPI app under uvicorn (``repro serve --fastapi``)."""
+    try:
+        import uvicorn
+    except ImportError:
+        raise ConfigError(_EXTRA_HINT) from None
+    uvicorn.run(create_app(broker), host=host, port=port, log_level="info")

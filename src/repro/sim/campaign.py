@@ -458,7 +458,7 @@ class Campaign:
     def __len__(self) -> int:
         return sum(len(batch) for batch in self._batches)
 
-    def run(self) -> dict[str, TrialResult]:
+    def run(self, engine: ExecutionEngine | None = None) -> dict[str, TrialResult]:
         """Execute every registered trial as one submission and demux.
 
         The engine returns results in submission order, so slicing them
@@ -468,8 +468,14 @@ class Campaign:
         each label's ``OutcomeBatch`` is assembled directly from the
         arena's dense columns — no outcome objects, no deserialization
         of the dense data — and the objects themselves stay lazy.
+
+        ``engine`` overrides the campaign's own backend for this call
+        without resolving or mutating it — the service worker runs
+        leased cells through here with its local engine, and the
+        campaign must stay oblivious to ``REPRO_JOBS`` when told what
+        to use.
         """
-        return run_together([self], self.engine)[0]
+        return run_together([self], engine if engine is not None else self.engine)[0]
 
     # -- demux hooks (overridden by other campaign kinds) -------------------
 

@@ -464,6 +464,10 @@ def resolve_engine(jobs: int | str | ExecutionEngine | None = None) -> Execution
     * ``"auto"`` / ``0`` — one worker per CPU, serial fallback for
       unpicklable specs;
     * ``N`` / ``"N"`` — a process pool of N workers;
+    * ``"service"`` — the distributed study backend
+      (:class:`repro.serve.engine.ServiceEngine`; broker URL from
+      ``REPRO_BROKER``) — ``Study.run`` ships whole studies to it
+      instead of mapping specs;
     * an engine instance — passed through unchanged.
     """
     if jobs is None:
@@ -477,11 +481,18 @@ def resolve_engine(jobs: int | str | ExecutionEngine | None = None) -> Execution
             return SerialEngine()
         if token in ("auto", "0", "process"):
             return ProcessEngine(fallback_to_serial=True)
+        if token == "service":
+            # Imported lazily: repro.serve builds on the study layer,
+            # which itself imports this module.
+            from ..serve.engine import ServiceEngine
+
+            return ServiceEngine()
         try:
             jobs = int(token)
         except ValueError:
             raise ConfigError(
-                f"unknown jobs value {token!r}; expected an integer, 'auto', or 'serial'"
+                f"unknown jobs value {token!r}; expected an integer, 'auto', "
+                "'serial', or 'service'"
             ) from None
     if jobs == 0:
         return ProcessEngine(fallback_to_serial=True)

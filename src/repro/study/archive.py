@@ -159,6 +159,14 @@ def save_study(result: StudyResult, path: str | Path) -> tuple[str, str]:
     cache directory needs (two processes storing the same key wrote the
     same bytes anyway).
     """
+    failed = [cell.index for cell in result.cells if cell.error is not None]
+    if failed:
+        # An archive is a durable claim of complete results; a partial
+        # sweep (quarantined service cells) must be re-run, not saved.
+        raise ConfigError(
+            f"cannot archive a study with failed cells {failed}; see "
+            "StudyResult.errors for the per-cell reasons and re-run them"
+        )
     json_path, npz_path = _paths(path)
     json_path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}

@@ -236,6 +236,17 @@ class StudyCache:
             Path(f"{base}{_META_SUFFIX}"),
         )
 
+    def entry_files(self, key: str) -> tuple[Path, Path]:
+        """The ``(json, npz)`` archive paths behind one content key.
+
+        The study service serves cache hits straight from these files
+        (the entry *is* the wire format), so the broker never re-renders
+        a cell just to ship bytes that already exist.  Callers should
+        :meth:`lookup` first — this accessor does not validate.
+        """
+        json_path, npz_path, _meta = self._entry_paths(key)
+        return json_path, npz_path
+
     # -- lookup / store -----------------------------------------------------
 
     def lookup(

@@ -36,8 +36,8 @@ import itertools
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
-from collections.abc import Iterator, Mapping, Sequence
-from typing import TYPE_CHECKING, Any
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, cast
 
 import numpy as np
 
@@ -96,6 +96,23 @@ def _kernel_override(kernel: str | None) -> Iterator[None]:
         set_default_kernel(previous)
 
 
+def _study_runner(
+    engine: ExecutionEngine | None,
+) -> "Callable[[Study], StudyResult] | None":
+    """The whole-study entry point of a service-style engine, if any.
+
+    Engines that execute studies rather than spec batches (the
+    distributed backend) expose ``run_study``; ``Study.run`` delegates
+    to it instead of building plans locally.  Structural on purpose —
+    any conforming third-party engine works, without importing
+    :mod:`repro.serve` here.
+    """
+    runner = getattr(engine, "run_study", None)
+    if engine is not None and callable(runner):
+        return cast("Callable[[Study], StudyResult]", runner)
+    return None
+
+
 def _batch_columns(results: Mapping[str, Any]) -> dict[str, dict[str, np.ndarray]]:
     """Every label's dense batch columns, generically.
 
@@ -124,10 +141,15 @@ class StudyCell:
     overrides: dict[str, Any]
     #: The cell's full resolved param dict (defaults + overrides).
     params: dict[str, Any]
-    #: The finished figure/table (rendered text + raw numbers).
+    #: The finished figure/table (rendered text + raw numbers);
+    #: ``None`` for a cell that failed (see ``error``).
     result: Any
     #: ``{label: {column: ndarray}}`` dense batch columns per label.
     columns: dict[str, dict[str, np.ndarray]]
+    #: Why the cell has no result (service quarantine: the broker gave
+    #: up after ``max_attempts``); ``None`` for a successful cell.  A
+    #: failed cell renders as a FAILED block and blocks ``save``.
+    error: str | None = None
 
 
 class StudyResult:
@@ -167,14 +189,30 @@ class StudyResult:
 
     @property
     def rendered(self) -> str:
-        """Every cell's rendered panel, grid order."""
+        """Every cell's rendered panel, grid order.
+
+        Failed cells (a distributed run's quarantined cells) render as
+        an explicit FAILED block instead of silently vanishing from the
+        output.
+        """
         blocks = []
         for cell in self.cells:
             if cell.overrides:
                 coords = ", ".join(f"{k}={v!r}" for k, v in cell.overrides.items())
                 blocks.append(f"=== {self.experiment_id} [{coords}] ===")
-            blocks.append(cell.result.rendered)
+            if cell.error is not None:
+                blocks.append(
+                    f"=== {self.experiment_id} cell {cell.index} FAILED ===\n"
+                    f"{cell.error}"
+                )
+            else:
+                blocks.append(cell.result.rendered)
         return "\n\n".join(blocks)
+
+    @property
+    def errors(self) -> dict[int, str]:
+        """Per-cell failure reasons by cell index ({} when all succeeded)."""
+        return {cell.index: cell.error for cell in self.cells if cell.error is not None}
 
     def only(self) -> StudyCell:
         """The single cell of a gridless study."""
@@ -261,6 +299,11 @@ class Study:
     def experiment_id(self) -> str:
         return self.definition.experiment_id
 
+    @property
+    def axes(self) -> dict[str, list]:
+        """The grid axes (name → coerced values), declaration order."""
+        return {name: list(values) for name, values in self._axes.items()}
+
     def grid(self, **axes: Sequence) -> "Study":
         """Sweep schema params across cells (Cartesian product).
 
@@ -325,9 +368,23 @@ class Study:
         those are byte-identity-equivalent by the determinism wall, so
         a cache written under one serves runs under any other.
         Accounting lands in ``StudyResult.cache_info``.
+
+        A *service* backend (``jobs="service"``, an engine exposing
+        ``run_study`` — e.g. :class:`repro.serve.engine.ServiceEngine`)
+        takes the whole study: the declarative description ships to a
+        broker, a worker fleet executes the cells, and the reassembled
+        result is byte-identical to a local run.  The local ``cache``/
+        ``ipc``/``kernel`` knobs don't apply there — the broker owns
+        the cache and each worker its execution details (results are
+        invariant to both by the determinism wall).
         """
         from .cache import CacheInfo, code_fingerprint, resolve_cache
 
+        delegated = _study_runner(engine)
+        if delegated is None and isinstance(jobs, str) and jobs.strip().lower() == "service":
+            delegated = _study_runner(resolve_engine(jobs))
+        if delegated is not None:
+            return delegated(self)
         study_cache = resolve_cache(cache)
         with _ipc_override(ipc), _kernel_override(kernel):
             cell_overrides = self.cells()
@@ -346,7 +403,13 @@ class Study:
                     if hit is not None:
                         cached[index] = hit
             if engine is None and len(cached) < len(plans):
+                # Lazy on purpose: a fully-cached run must not consult
+                # REPRO_JOBS at all.  That also means REPRO_JOBS=service
+                # only reaches the broker when there is work to ship.
                 engine = resolve_engine(jobs)
+                delegated = _study_runner(engine)
+                if delegated is not None:
+                    return delegated(self)
             per_cell = run_together(
                 [plan.campaign for plan in plans], engine, skip=cached.keys()
             )

@@ -1,0 +1,324 @@
+"""The sqlite study broker: leases, retries, quarantine, cache, restart.
+
+Direct (HTTP-free) tests of :class:`repro.serve.broker.Broker` — the
+queue's correctness argument lives here: lease expiry requeues, bounded
+retries quarantine, completion is first-commit-wins with full archive
+validation, the sqlite file survives a broker restart with in-flight
+leases intact, and a warm cache turns a resubmission into zero work.
+"""
+
+from contextlib import suppress
+
+import pytest
+
+from repro.errors import ConfigError, ServiceError
+from repro.serve.broker import Broker
+from repro.serve.cells import cell_archive, execute_cell, load_cell_archive
+from repro.serve.worker import run_worker
+from repro.sim.execution import SerialEngine
+from repro.study.cache import StudyCache
+
+
+class Clock:
+    """An injectable wall clock the tests advance by hand."""
+
+    def __init__(self, t: float = 1_000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def grid_payload(trials: int = 1, seeds: tuple = (2014, 2015)) -> dict:
+    return {
+        "experiment": "fig2",
+        "params": {"trials": trials},
+        "axes": {"seed": list(seeds)},
+    }
+
+
+def single_payload(seed: int = 2014) -> dict:
+    return {"experiment": "fig2", "params": {"trials": 1, "seed": seed}, "axes": {}}
+
+
+@pytest.fixture(scope="module")
+def archives() -> dict:
+    """Real fig2 cell archives, one per seed, computed once per module."""
+    out = {}
+    for seed in (2014, 2015):
+        cell = execute_cell("fig2", {"trials": 1, "seed": seed}, engine=SerialEngine())
+        out[seed] = cell_archive("fig2", cell)
+    return out
+
+
+@pytest.fixture
+def make_broker(tmp_path):
+    brokers = []
+
+    def factory(name: str = "queue.sqlite3", **kwargs) -> Broker:
+        broker = Broker(tmp_path / name, **kwargs)
+        brokers.append(broker)
+        return broker
+
+    yield factory
+    for broker in brokers:
+        with suppress(Exception):
+            broker.close()
+
+
+def complete_lease(broker: Broker, lease: dict, archives: dict, worker: str = "w"):
+    """Commit the right canned archive for a fig2 lease."""
+    manifest, npz = archives[lease["params"]["seed"]]
+    return broker.complete(
+        lease["job_id"],
+        lease["cell"],
+        manifest,
+        npz,
+        lease_id=lease["lease_id"],
+        worker=worker,
+    )
+
+
+class TestSubmit:
+    def test_expands_grid_into_pending_cells(self, make_broker):
+        broker = make_broker()
+        summary = broker.submit(grid_payload())
+        assert summary["cells"] == 2
+        assert summary["cached"] == 0
+        assert summary["units"] > 0
+        status = broker.status(summary["job_id"])
+        assert status["state"] == "running"
+        assert status["counts"] == {"pending": 2}
+        assert [info["cell"] for info in status["cells"]] == [0, 1]
+        # The broker re-expanded the grid itself: each cell carries its
+        # fully resolved params, product order.
+        lease = broker.lease("w0")
+        assert lease["cell"] == 0
+        assert lease["params"]["seed"] == 2014
+        assert lease["params"]["trials"] == 1
+
+    def test_rejects_malformed_submissions(self, make_broker):
+        broker = make_broker()
+        with pytest.raises(ConfigError):
+            broker.submit({"params": {}})  # no experiment id
+        with pytest.raises(ConfigError):
+            broker.submit({"experiment": "no-such-experiment"})
+        with pytest.raises(ConfigError):
+            broker.submit({"experiment": "fig2", "params": {"bogus_knob": 1}})
+        with pytest.raises(ConfigError):
+            broker.submit({"experiment": "fig2", "params": [1, 2]})
+
+    def test_validation_happens_before_anything_queues(self, make_broker):
+        broker = make_broker()
+        with pytest.raises(ConfigError):
+            broker.submit({"experiment": "fig2", "params": {}, "axes": {"seed": []}})
+        assert broker.lease("w0") is None
+
+
+class TestLeaseLifecycle:
+    def test_roundtrip_lease_complete_result(self, make_broker, archives):
+        broker = make_broker(log=print)
+        job = broker.submit(single_payload())["job_id"]
+        lease = broker.lease("w0")
+        assert lease["job_id"] == job
+        assert lease["lease_timeout"] == broker.lease_timeout
+        response = complete_lease(broker, lease, archives, worker="w0")
+        assert response == {"accepted": True, "reason": "stored"}
+        status = broker.status(job)
+        assert status["state"] == "done"
+        assert status["cells"][0]["worker"] == "w0"
+        manifest, npz = broker.result(job, 0)
+        assert (manifest, npz) == archives[2014]
+        # The stored archive round-trips through strict validation.
+        assert load_cell_archive(manifest, npz).only().params["seed"] == 2014
+
+    def test_empty_queue_leases_none(self, make_broker):
+        assert make_broker().lease("w0") is None
+
+    def test_heartbeat_extends_the_deadline(self, make_broker):
+        clock = Clock()
+        broker = make_broker(lease_timeout=10.0, clock=clock)
+        broker.submit(single_payload())
+        lease = broker.lease("w0")
+        clock.advance(8.0)
+        assert broker.heartbeat(lease["lease_id"]) is True
+        clock.advance(8.0)  # past the original deadline, not the extended one
+        assert broker.requeue_expired() == 0
+        clock.advance(3.0)
+        assert broker.requeue_expired() == 1
+        assert broker.heartbeat(lease["lease_id"]) is False
+
+    def test_expired_lease_requeues_and_releases(self, make_broker):
+        clock = Clock()
+        log: list[str] = []
+        broker = make_broker(lease_timeout=5.0, clock=clock, log=log.append)
+        broker.submit(single_payload())
+        first = broker.lease("w0")
+        clock.advance(6.0)
+        second = broker.lease("w1")  # expiry scan runs lazily in lease()
+        assert second is not None
+        assert second["cell"] == first["cell"]
+        assert second["lease_id"] != first["lease_id"]
+        assert any("requeued" in line and "lease expired" in line for line in log)
+        status = broker.status(second["job_id"])
+        assert status["cells"][0]["attempts"] == 2
+
+    def test_quarantine_after_max_attempts(self, make_broker):
+        clock = Clock()
+        log: list[str] = []
+        broker = make_broker(lease_timeout=5.0, max_attempts=2, clock=clock, log=log.append)
+        job = broker.submit(single_payload())["job_id"]
+        for _ in range(2):
+            assert broker.lease("w0") is not None
+            clock.advance(6.0)
+        assert broker.lease("w0") is None  # quarantined, not re-leased
+        status = broker.status(job)
+        assert status["state"] == "failed"
+        assert "lease expired" in status["cells"][0]["error"]
+        assert any("quarantined" in line for line in log)
+        with pytest.raises(ServiceError):
+            broker.result(job, 0)
+
+
+class TestCompletion:
+    def test_duplicate_completion_first_commit_wins(self, make_broker, archives):
+        broker = make_broker()
+        job = broker.submit(single_payload())["job_id"]
+        lease = broker.lease("w0")
+        assert complete_lease(broker, lease, archives, worker="w0")["accepted"]
+        duplicate = complete_lease(broker, lease, archives, worker="w1")
+        assert duplicate == {"accepted": False, "reason": "already-complete"}
+        assert broker.status(job)["cells"][0]["worker"] == "w0"
+
+    def test_invalid_archive_charges_the_attempt(self, make_broker):
+        broker = make_broker(max_attempts=1)
+        job = broker.submit(single_payload())["job_id"]
+        lease = broker.lease("w0")
+        response = broker.complete(job, lease["cell"], "not a manifest", b"junk", worker="w0")
+        assert response["accepted"] is False
+        assert response["reason"].startswith("invalid-archive")
+        status = broker.status(job)
+        assert status["state"] == "failed"  # max_attempts=1: straight to jail
+        assert "invalid result archive" in status["cells"][0]["error"]
+
+    def test_archive_for_the_wrong_cell_is_rejected(self, make_broker, archives):
+        broker = make_broker()
+        job = broker.submit(single_payload(seed=2014))["job_id"]
+        broker.lease("w0")
+        manifest, npz = archives[2015]  # valid archive, wrong params
+        response = broker.complete(job, 0, manifest, npz, worker="w0")
+        assert response["accepted"] is False
+        assert "do not match" in response["reason"]
+
+    def test_completion_without_a_lease_rescues_quarantine(self, make_broker, archives):
+        broker = make_broker(max_attempts=1)
+        job = broker.submit(single_payload())["job_id"]
+        lease = broker.lease("w0")
+        broker.fail(lease["lease_id"], "controlled crash")
+        assert broker.status(job)["state"] == "failed"
+        # Determinism: a valid archive is THE result, lease or no lease.
+        manifest, npz = archives[2014]
+        assert broker.complete(job, 0, manifest, npz, worker="late")["accepted"]
+        assert broker.status(job)["state"] == "done"
+
+    def test_unknown_cell_raises(self, make_broker, archives):
+        broker = make_broker()
+        manifest, npz = archives[2014]
+        with pytest.raises(ServiceError):
+            broker.complete("nope", 0, manifest, npz)
+
+
+class TestFail:
+    def test_fail_requeues_then_quarantines(self, make_broker):
+        broker = make_broker(max_attempts=2)
+        job = broker.submit(single_payload())["job_id"]
+        first = broker.fail(broker.lease("w0")["lease_id"], "crash 1")
+        assert first == {"accepted": True, "requeued": True, "reason": "requeued"}
+        second = broker.fail(broker.lease("w0")["lease_id"], "crash 2")
+        assert second == {
+            "accepted": True,
+            "requeued": False,
+            "reason": "quarantined",
+        }
+        assert broker.status(job)["cells"][0]["error"] == "crash 2"
+
+    def test_unknown_lease_is_refused(self, make_broker):
+        response = make_broker().fail("deadbeef", "whatever")
+        assert response["accepted"] is False
+        assert response["reason"] == "unknown-lease"
+
+
+class TestStatusAndResult:
+    def test_unknown_job_raises(self, make_broker):
+        with pytest.raises(ServiceError):
+            make_broker().status("nope")
+
+    def test_result_before_done_raises(self, make_broker):
+        broker = make_broker()
+        job = broker.submit(single_payload())["job_id"]
+        with pytest.raises(ServiceError):
+            broker.result(job, 0)
+        with pytest.raises(ServiceError):
+            broker.result(job, 99)
+
+
+class TestRestart:
+    def test_queue_and_leases_survive_a_broker_restart(self, make_broker, archives):
+        clock = Clock()
+        first = make_broker("shared.sqlite3", lease_timeout=5.0, clock=clock)
+        job = first.submit(single_payload())["job_id"]
+        stale = first.lease("w0")
+        first.close()
+
+        second = make_broker("shared.sqlite3", lease_timeout=5.0, clock=clock)
+        assert second.status(job)["cells"][0]["state"] == "leased"
+        clock.advance(6.0)
+        release = second.lease("w1")
+        assert release is not None and release["cell"] == 0
+        # The pre-restart worker finally reports in: its lease is stale
+        # but its archive is valid, so first-commit-wins accepts it.
+        assert complete_lease(second, stale, archives, worker="w0")["accepted"]
+        assert second.status(job)["state"] == "done"
+
+
+class TestCacheIntegration:
+    def test_warm_cache_submits_zero_work_units(self, tmp_path, archives):
+        cache = StudyCache(tmp_path / "cache")
+        first = Broker(tmp_path / "a.sqlite3", cache=cache)
+        try:
+            job = first.submit(grid_payload())["job_id"]
+            # Drain with the real worker loop, HTTP-free (the broker and
+            # the client expose the same surface by design).
+            drained = run_worker(first, jobs="serial", once=True, poll=0.01, worker_id="w0")
+            assert drained == 2
+            assert first.status(job)["state"] == "done"
+            first_bytes = [first.result(job, cell) for cell in (0, 1)]
+        finally:
+            first.close()
+
+        # A fresh broker (new queue db) sharing only the cache: the same
+        # submission is born done — zero leases, zero work units — and
+        # serves byte-identical archives.
+        second = Broker(tmp_path / "b.sqlite3", cache=cache)
+        try:
+            summary = second.submit(grid_payload())
+            assert summary["cached"] == 2
+            assert summary["units"] == 0
+            status = second.status(summary["job_id"])
+            assert status["state"] == "done"
+            assert all(info["from_cache"] for info in status["cells"])
+            assert second.lease("w0") is None
+            second_bytes = [second.result(summary["job_id"], cell) for cell in (0, 1)]
+            assert second_bytes == first_bytes
+        finally:
+            second.close()
+
+    def test_worker_archives_match_locally_computed_bytes(self, make_broker, archives):
+        broker = make_broker()
+        job = broker.submit(grid_payload())["job_id"]
+        run_worker(broker, jobs="serial", once=True, poll=0.01, worker_id="w0")
+        for cell, seed in enumerate((2014, 2015)):
+            assert broker.result(job, cell) == archives[seed]

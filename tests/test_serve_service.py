@@ -1,0 +1,415 @@
+"""The study service end to end: HTTP broker, pull workers, ServiceEngine.
+
+Real sockets, real threads: a stdlib :mod:`repro.serve.httpd` server in
+front of a :class:`Broker`, ``run_worker`` loops pulling over HTTP, and
+``Study.run`` going through :class:`ServiceEngine`.  The acceptance bar
+is the ISSUE 9 one — the archive a service run saves is **byte
+identical** to an in-process run, a killed worker's cell requeues and
+the sweep completes, and a poisoned cell quarantines as a per-cell
+error instead of sinking the study.
+"""
+
+import filecmp
+import threading
+import time
+from contextlib import contextmanager
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, ServiceError
+from repro.serve.broker import Broker
+from repro.serve.client import BrokerClient
+from repro.serve.engine import ServiceEngine, resolve_broker
+from repro.serve.httpd import create_server, run_server
+from repro.serve.worker import run_worker
+from repro.study import Study
+from repro.study.params import Param, ParamSchema
+from repro.study.registry import (
+    _REGISTRY,
+    ExperimentDef,
+    ExperimentPlan,
+    get_experiment,
+    register,
+)
+
+
+@contextmanager
+def service_stack(
+    tmp_path,
+    *,
+    workers=1,
+    lease_timeout=30.0,
+    max_attempts=3,
+    cache=None,
+    start_workers=True,
+):
+    """A live broker + HTTP server + worker threads, torn down cleanly."""
+    log: list[str] = []
+    broker = Broker(
+        tmp_path / "queue.sqlite3",
+        cache=cache,
+        lease_timeout=lease_timeout,
+        max_attempts=max_attempts,
+        log=log.append,
+    )
+    server = create_server(broker)
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    server_thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    server_thread.start()
+    stop = threading.Event()
+    threads: list[threading.Thread] = []
+
+    def start_worker(worker_id: str) -> None:
+        thread = threading.Thread(
+            target=run_worker,
+            args=(url,),
+            kwargs={
+                "jobs": "serial",
+                "poll": 0.02,
+                "stop": stop,
+                "worker_id": worker_id,
+                "log": log.append,
+            },
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+
+    if start_workers:
+        for index in range(workers):
+            start_worker(f"w{index}")
+    try:
+        yield SimpleNamespace(
+            broker=broker,
+            url=url,
+            log=log,
+            stop=stop,
+            start_worker=start_worker,
+        )
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        server.shutdown()
+        server_thread.join(timeout=10)
+        server.server_close()
+        broker.close()
+
+
+@contextmanager
+def injectable_fig2(experiment_id="svc_fig2_wrapped"):
+    """A temporarily registered fig2 wrapper with failure/delay knobs.
+
+    ``boom=True`` makes the cell's render raise (worker-side failure,
+    submit-side validation untouched); ``delay`` stretches the cell past
+    a short lease timeout to exercise heartbeats.
+    """
+    fig2 = get_experiment("fig2")
+
+    def build(params):
+        plan = fig2.build({"trials": params["trials"], "seed": params["seed"]})
+
+        def render(results, _inner=plan.render, _params=dict(params)):
+            if _params["delay"]:
+                time.sleep(_params["delay"])
+            if _params["boom"]:
+                raise RuntimeError("boom: injected cell failure")
+            return _inner(results)
+
+        return ExperimentPlan(plan.campaign, render)
+
+    definition = ExperimentDef(
+        experiment_id=experiment_id,
+        title="fig2 wrapper with injectable failure/delay (tests only)",
+        kind="trials",
+        schema=ParamSchema(
+            (
+                Param("trials", int, 1, minimum=1),
+                Param("seed", int, 2014),
+                Param("boom", bool, False),
+                Param("delay", float, 0.0, minimum=0.0),
+            )
+        ),
+        build=build,
+    )
+    register(definition)
+    try:
+        yield experiment_id
+    finally:
+        _REGISTRY.pop(experiment_id, None)
+
+
+def wait_done(client: BrokerClient, job_id: str, deadline_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + deadline_s
+    finished = -1
+    while True:
+        status = client.status(job_id, wait=1.0, done=finished)
+        finished = status["counts"].get("done", 0) + status["counts"].get("failed", 0)
+        if status["state"] != "running":
+            return status
+        assert time.monotonic() < deadline, f"job stuck: {status}"
+
+
+class TestByteIdentity:
+    def test_service_archive_identical_to_local_run(self, tmp_path):
+        study = Study("fig2", trials=2).grid(seed=[2014, 2015])
+        messages: list[str] = []
+        with service_stack(tmp_path, workers=2) as stack:
+            engine = ServiceEngine(stack.url, poll=0.05, progress=messages.append)
+            service_result = study.run(engine=engine)
+        local_result = study.run(jobs="serial")
+
+        assert service_result.errors == {}
+        assert service_result.rendered == local_result.rendered
+        assert service_result.column_mismatches(local_result) == []
+        service_json, service_npz = service_result.save(tmp_path / "service-run")
+        local_json, local_npz = local_result.save(tmp_path / "local-run")
+        assert filecmp.cmp(service_json, local_json, shallow=False)
+        assert filecmp.cmp(service_npz, local_npz, shallow=False)
+
+        info = service_result.cache_info
+        assert info is not None
+        assert (info.hits, info.misses) == (0, 2)
+        assert info.submitted_units > 0
+        assert any("2/2 finished" in message for message in messages)
+
+    def test_repro_jobs_service_env(self, tmp_path, monkeypatch, capsys):
+        with service_stack(tmp_path) as stack:
+            monkeypatch.setenv("REPRO_JOBS", "service")
+            monkeypatch.setenv("REPRO_BROKER", stack.url)
+            result = Study("fig2", trials=1).run()
+        assert result.errors == {}
+        assert "[service]" in capsys.readouterr().err
+
+    def test_broker_side_cache_makes_resubmission_free(self, tmp_path):
+        from repro.study.cache import StudyCache
+
+        cache = StudyCache(tmp_path / "cache")
+        study = Study("fig2", trials=1).grid(seed=[2014, 2015])
+        with service_stack(tmp_path, cache=cache) as stack:
+            engine = ServiceEngine(stack.url, poll=0.05, progress=lambda _: None)
+            first = study.run(engine=engine)
+            second = study.run(engine=engine)
+        from repro.study.cache import CacheInfo
+
+        assert first.cache_info.misses == 2
+        assert second.cache_info == CacheInfo(hits=2, misses=0, submitted_units=0)
+        assert second.rendered == first.rendered
+        assert second.column_mismatches(first) == []
+
+
+class TestWorkerFailure:
+    def test_lost_worker_lease_requeues_and_sweep_completes(self, tmp_path):
+        with service_stack(tmp_path, lease_timeout=0.5, start_workers=False) as stack:
+            client = BrokerClient(stack.url)
+            payload = {"experiment": "fig2", "params": {"trials": 1}, "axes": {}}
+            job = client.submit(payload)["job_id"]
+            # A "worker" that takes the lease and dies: no heartbeat, no
+            # completion — exactly what kill -9 leaves behind.
+            doomed = client.lease("doomed")
+            assert doomed is not None
+            stack.start_worker("survivor")
+            status = wait_done(client, job)
+        assert status["state"] == "done"
+        assert status["cells"][0]["attempts"] == 2
+        assert status["cells"][0]["worker"] == "survivor"
+        assert any("requeued" in line and "lease expired" in line for line in stack.log)
+
+    def test_poisoned_cell_quarantines_as_per_cell_error(self, tmp_path):
+        with (
+            injectable_fig2() as experiment_id,
+            service_stack(tmp_path, max_attempts=2) as stack,
+        ):
+            engine = ServiceEngine(stack.url, poll=0.05, progress=lambda _: None)
+            study = Study(experiment_id, trials=1).grid(boom=[False, True])
+            result = study.run(engine=engine)
+            # The healthy cell survives the poisoned one.
+            assert result.cells[0].error is None
+            assert result.cells[0].result is not None
+            assert "boom: injected cell failure" in result.cells[1].error
+            assert set(result.errors) == {1}
+            assert "cell 1 FAILED" in result.rendered
+            # Both attempts were charged before quarantine.
+            assert sum("quarantined" in line for line in stack.log) == 1
+            with pytest.raises(ConfigError, match="failed cells"):
+                result.save(tmp_path / "poisoned")
+
+    def test_heartbeat_keeps_a_slow_cell_leased(self, tmp_path):
+        with (
+            injectable_fig2() as experiment_id,
+            service_stack(tmp_path, lease_timeout=0.4) as stack,
+        ):
+            engine = ServiceEngine(stack.url, poll=0.05, progress=lambda _: None)
+            result = Study(experiment_id, trials=1, delay=1.5).run(engine=engine)
+        assert result.errors == {}
+        # One lease, no expiry: the heartbeat outran the 0.4 s timeout
+        # across a 1.5 s cell.
+        assert not any("requeued" in line for line in stack.log)
+        assert sum("leased to" in line for line in stack.log) == 1
+
+    def test_workers_ride_out_a_broker_restart(self, tmp_path):
+        log: list[str] = []
+        db = tmp_path / "queue.sqlite3"
+        first = Broker(db, lease_timeout=30.0, log=log.append)
+        server = create_server(first)
+        port = server.server_address[1]
+        url = f"http://127.0.0.1:{port}"
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        job = BrokerClient(url, timeout=5.0).submit(
+            {
+                "experiment": "fig2",
+                "params": {"trials": 1},
+                "axes": {"seed": [2014, 2015]},
+            }
+        )["job_id"]
+        # Take the HTTP front end down before any worker exists; the
+        # sqlite queue keeps the submitted job.
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        first.close()
+
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=run_worker,
+            args=(url,),
+            kwargs={
+                "jobs": "serial",
+                "poll": 0.05,
+                "stop": stop,
+                "worker_id": "steady",
+                "log": log.append,
+            },
+            daemon=True,
+        )
+        worker.start()
+        second = None
+        try:
+            deadline = time.monotonic() + 10.0
+            while not any("unreachable" in line for line in log):
+                assert time.monotonic() < deadline, "worker never noticed"
+                time.sleep(0.02)
+            # Restart on the same database and the same port: the worker
+            # that kept polling picks the queue back up and drains it.
+            second = Broker(db, lease_timeout=30.0, log=log.append)
+            server = create_server(second, port=port)
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            thread.start()
+            status = wait_done(BrokerClient(url, timeout=5.0), job)
+        finally:
+            stop.set()
+            worker.join(timeout=30)
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+            if second is not None:
+                second.close()
+        assert status["state"] == "done"
+        assert any("reachable again" in line for line in log)
+
+
+class TestHttpSurface:
+    def test_health_and_errors(self, tmp_path):
+        with service_stack(tmp_path, start_workers=False) as stack:
+            client = BrokerClient(stack.url)
+            assert client.health() is True
+            with pytest.raises(ServiceError, match="unknown job"):
+                client.status("nope")
+            with pytest.raises(ServiceError, match="unknown path"):
+                client._request("GET", "/api/v1/bogus")
+            with pytest.raises(ConfigError, match="broker URL"):
+                resolve_broker(None)
+
+    def test_client_surfaces_unreachable_broker(self):
+        client = BrokerClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach broker"):
+            client.health()
+
+    def test_run_server_binds_and_shuts_down(self, tmp_path):
+        broker = Broker(tmp_path / "queue.sqlite3")
+        ready = threading.Event()
+        box: list = []
+        thread = threading.Thread(
+            target=run_server,
+            args=(broker, "127.0.0.1", 0),
+            kwargs={"ready": ready, "server_box": box},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        url = f"http://127.0.0.1:{box[0].server_address[1]}"
+        assert BrokerClient(url).health() is True
+        box[0].shutdown()
+        thread.join(timeout=10)
+        broker.close()
+
+
+class TestCli:
+    def test_experiment_backend_service_end_to_end(self, tmp_path, capsys):
+        with service_stack(tmp_path, workers=2) as stack:
+            code = main(
+                [
+                    "experiment",
+                    "fig2",
+                    "--trials",
+                    "1",
+                    "--grid",
+                    "seed=2014;2015",
+                    "--backend",
+                    "service",
+                    "--broker",
+                    stack.url,
+                    "--save",
+                    str(tmp_path / "cli-run"),
+                ]
+            )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert (tmp_path / "cli-run.json").exists()
+        assert (tmp_path / "cli-run.npz").exists()
+        assert "cache: 0 hit(s)" in captured.err
+
+    def test_worker_command_drains_a_queue(self, tmp_path, capsys):
+        with service_stack(tmp_path, start_workers=False) as stack:
+            payload = {"experiment": "fig2", "params": {"trials": 1}, "axes": {}}
+            job = BrokerClient(stack.url).submit(payload)["job_id"]
+            code = main(["worker", stack.url, "--jobs", "serial", "--once", "--id", "cliw"])
+            assert code == 0
+            assert stack.broker.status(job)["state"] == "done"
+        assert "processed 1 cell(s)" in capsys.readouterr().err
+
+    def test_usage_errors_exit_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BROKER", raising=False)
+        assert main(["experiment", "fig2", "--backend", "service"]) == 2
+        assert "broker URL" in capsys.readouterr().err
+        assert main(["experiment", "fig2", "--broker", "http://x"]) == 2
+        assert "--backend service" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "experiment",
+                    "fig2",
+                    "--backend",
+                    "service",
+                    "--broker",
+                    "http://x",
+                    "--jobs",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        assert "--jobs applies to the local backend" in capsys.readouterr().err
+        assert main(["worker"]) == 2
+        assert main(["serve", "--max-attempts", "0"]) == 2
