@@ -284,6 +284,21 @@ def build_parser() -> argparse.ArgumentParser:
         dest="everything",
         help="drop every entry, not just stale ones",
     )
+    cache_gc.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="after the stale sweep, evict valid entries oldest-first "
+        "until the cache fits SIZE (accepts 64KB/1MB-style suffixes)",
+    )
+    cache_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="after the stale sweep, evict valid entries created more "
+        "than DAYS days ago",
+    )
     action.add_parser(
         "verify",
         help="fully load and re-key every entry; exit 1 if any is bad",
@@ -336,6 +351,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="broker-side study cell cache (default: REPRO_CACHE if set)",
+    )
+    serve.add_argument(
+        "--gc",
+        action="store_true",
+        dest="run_gc",
+        help="purge result blobs of completed studies older than "
+        "--keep-days from the queue db, then exit (no server is started)",
+    )
+    serve.add_argument(
+        "--keep-days",
+        type=float,
+        default=7.0,
+        metavar="DAYS",
+        help="with --gc: completed studies younger than this keep their "
+        "result blobs (default: %(default)s)",
     )
     serve.add_argument(
         "--fastapi",
@@ -592,7 +622,18 @@ def _command_cache(args: argparse.Namespace) -> int:
                 )
             return 0
         if args.action == "gc":
-            removed, freed = cache.gc(everything=args.everything)
+            from .units import parse_size
+
+            max_bytes = (
+                parse_size(args.max_bytes) if args.max_bytes is not None else None
+            )
+            if args.max_age is not None and args.max_age < 0:
+                raise ConfigError("--max-age must be >= 0 days")
+            removed, freed = cache.gc(
+                everything=args.everything,
+                max_bytes=max_bytes,
+                max_age_days=args.max_age,
+            )
             print(f"cache gc: removed {removed} entr" + (
                 "y" if removed == 1 else "ies"
             ) + f", freed {freed} bytes")
@@ -625,6 +666,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.run_gc:
+        try:
+            stats = broker.gc(keep_days=args.keep_days)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            broker.close()
+        print(
+            f"serve gc: purged {stats['cells']} cell blob(s) across "
+            f"{stats['studies']} completed study(ies), freed {stats['bytes']} bytes"
+        )
+        return 0
     try:
         log(f"[serve] broker db {args.db}; listening on {args.host}:{args.port}")
         if args.fastapi:

@@ -238,8 +238,16 @@ class PlayerSession:
             commands.extend(self._phase_change_commands(previous_phase, credit_time))
 
         if ledger.complete:
+            # A short video can complete its download before the buffer
+            # ever reaches the pre-buffer target (PREBUFFERING →
+            # FINISHED directly); playback still begins at that moment
+            # and must be announced, or start-up delay is never
+            # recorded.
+            pre_complete_phase = buffer.phase
             buffer.mark_download_complete(now)
             self.metrics.download_completed_at = now
+            if pre_complete_phase is BufferPhase.PREBUFFERING:
+                commands.extend(self._phase_change_commands(pre_complete_phase, now))
 
         commands.extend(self._dispatch_fetches(now))
         return SessionEventResult(commands)
@@ -270,8 +278,13 @@ class PlayerSession:
                 self.buffer.on_data(advanced / self._bitrate_(), now)
                 commands.extend(self._phase_change_commands(previous_phase, now))
             if ledger.complete and self.buffer is not None:
+                pre_complete_phase = self.buffer.phase
                 self.buffer.mark_download_complete(now)
                 self.metrics.download_completed_at = now
+                if pre_complete_phase is BufferPhase.PREBUFFERING:
+                    commands.extend(
+                        self._phase_change_commands(pre_complete_phase, now)
+                    )
         path.mark_broken(now)
 
         if interface_down:

@@ -233,17 +233,34 @@ class AdaptiveSimDriver:
     # -- public -----------------------------------------------------------------
 
     def run(self) -> AdaptiveOutcome:
+        self.launch()
+        self.scenario.env.run(until=self._finish)
+        return self.collect()
+
+    def launch(self) -> None:
+        """Start the session without running the event loop.
+
+        The same split :class:`~repro.sim.driver.MSPlayerDriver` offers:
+        shared-environment populations launch many drivers, then run
+        the environment until every ``finished`` event has fired.
+        """
         env = self.scenario.env
         self.metrics.session_started_at = env.now
         for path_id in self._paths:
             env.process(self._path_loop(path_id))
         env.process(self._ticker())
         env.process(self._watchdog())
-        env.run(until=self._finish)
+
+    @property
+    def finished(self):
+        """Event fired when the driver's stop condition is met."""
+        return self._finish
+
+    def collect(self) -> AdaptiveOutcome:
         return AdaptiveOutcome(
             metrics=self.metrics,
             stop_reason=self._stop_reason,
-            finished_at=env.now,
+            finished_at=self.scenario.env.now,
             itag_history=list(self.itag_history),
         )
 

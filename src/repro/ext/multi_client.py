@@ -129,6 +129,8 @@ class MultiClientExperiment:
         overload_threshold: int | None = 2,
         player_config: PlayerConfig | None = None,
         stop: str = "prebuffer",
+        launch_schedule=None,
+        world_hook=None,
     ) -> None:
         if client_count < 1:
             raise ConfigError("need at least one client")
@@ -139,6 +141,16 @@ class MultiClientExperiment:
         self.overload_threshold = overload_threshold
         self.player_config = player_config or PlayerConfig()
         self.stop = stop
+        #: ``(rng, count) -> launch delays`` — the scenarios package's
+        #: arrival-process seam.  ``None`` keeps the classic uniform
+        #: 2-second flash-crowd stagger, bit-for-bit (same rng stream,
+        #: same draw sequence).  Module-level callables only: specs that
+        #: carry this hook ride the process engines pickled.
+        self.launch_schedule = launch_schedule
+        #: ``(env, deployment) -> None`` run after the world is built
+        #: and before any client launches — where churn timelines
+        #: register their timer processes (same pickling rule).
+        self.world_hook = world_hook
 
     def run(self, policy: str) -> MultiClientResult:
         profile = self.profile_factory()
@@ -194,14 +206,27 @@ class MultiClientExperiment:
             driver = MSPlayerDriver(scenario, self.player_config, stop=self.stop)
             drivers.append(driver)
 
-        # Stagger client arrivals over a couple of seconds, as a flash
-        # crowd would arrive, then launch them in one environment.
+        if self.world_hook is not None:
+            self.world_hook(env, deployment)
+
+        # Stagger client arrivals — uniformly over a couple of seconds
+        # (the classic flash crowd) unless an arrival process supplies
+        # the launch schedule — then launch them in one environment.
         def _staggered_launch(driver: MSPlayerDriver, delay: float):
             yield env.pooled_timeout(delay)
             driver.launch()
 
-        for driver in drivers:
-            env.process(_staggered_launch(driver, float(rng.uniform(0.0, 2.0))))
+        if self.launch_schedule is None:
+            delays = [float(rng.uniform(0.0, 2.0)) for _ in drivers]
+        else:
+            delays = [float(d) for d in self.launch_schedule(rng, len(drivers))]
+        if len(delays) != len(drivers):
+            raise ConfigError(
+                f"launch schedule produced {len(delays)} delays for "
+                f"{len(drivers)} clients"
+            )
+        for driver, delay in zip(drivers, delays, strict=True):
+            env.process(_staggered_launch(driver, delay))
 
         env.run(until=env.all_of([driver.finished for driver in drivers]))
 
@@ -246,6 +271,8 @@ class MultiClientExperiment:
                 overload_threshold=self.overload_threshold,
                 player_config=self.player_config,
                 stop=self.stop,
+                launch_schedule=self.launch_schedule,
+                world_hook=self.world_hook,
             )
             for replicate in range(replicates)
         ]

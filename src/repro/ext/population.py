@@ -75,7 +75,24 @@ POPULATION_COLUMNS: ColumnLayout = (
     ("load_imbalance", np.float64),
     ("total_server_bytes", np.int64),
     ("completed", np.int64),
+    ("total_stall", np.float64),
+    ("session_time", np.float64),
+    ("total_failovers", np.int64),
+    ("sessions", np.int64),
 )
+
+
+def _session_seconds(outcome) -> float:
+    """One client's session wall time for the rebuffer-ratio denominator.
+
+    Playback end when playback finished; otherwise the collection
+    timestamp (in shared worlds that is the population's end time — the
+    honest upper bound for a session that never completed).
+    """
+    ended = outcome.metrics.playback_finished_at
+    if ended is None:
+        ended = outcome.finished_at
+    return ended - outcome.metrics.session_started_at
 
 
 def population_dense_row(result: MultiClientResult) -> dict[str, float]:
@@ -98,6 +115,12 @@ def population_dense_row(result: MultiClientResult) -> dict[str, float]:
         "load_imbalance": result.load_imbalance,
         "total_server_bytes": sum(result.server_bytes.values()),
         "completed": delays.size,
+        "total_stall": float(
+            sum(o.metrics.total_stall_time for o in result.outcomes)
+        ),
+        "session_time": float(sum(_session_seconds(o) for o in result.outcomes)),
+        "total_failovers": sum(o.metrics.failovers for o in result.outcomes),
+        "sessions": len(result.outcomes),
     }
 
 
@@ -183,6 +206,13 @@ class PopulationSpec:
     overload_threshold: int | None = 2
     player_config: PlayerConfig = field(default_factory=PlayerConfig)
     stop: str = "prebuffer"
+    #: Optional arrival-schedule hook, ``(rng, count) -> delays`` —
+    #: module-level callables only (specs must stay picklable).  ``None``
+    #: keeps the classic uniform flash-crowd stagger bit-for-bit.
+    launch_schedule: Callable[[np.random.Generator, int], Sequence[float]] | None = None
+    #: Optional world hook ``(env, deployment) -> None`` run before any
+    #: client launches — the churn-injection seam (same pickling rule).
+    world_hook: Callable | None = None
 
     #: Arena layout for the shm collection path (class-level).
     dense_columns: ClassVar[ColumnLayout] = POPULATION_COLUMNS
@@ -197,6 +227,8 @@ class PopulationSpec:
             overload_threshold=self.overload_threshold,
             player_config=self.player_config,
             stop=self.stop,
+            launch_schedule=self.launch_schedule,
+            world_hook=self.world_hook,
         )
         return experiment.run(self.policy)
 
@@ -244,6 +276,14 @@ class PopulationBatch:
     total_server_bytes: np.ndarray
     #: (r,) clients whose playback started.
     completed: np.ndarray
+    #: (r,) total stalled seconds across the population's clients.
+    total_stall: np.ndarray
+    #: (r,) total session wall seconds (rebuffer-ratio denominator).
+    session_time: np.ndarray
+    #: (r,) total source failovers across the population's clients.
+    total_failovers: np.ndarray
+    #: (r,) population size (clients launched, started or not).
+    sessions: np.ndarray
     #: flat defined per-client start-up delays, replicate-major.
     client_startup: np.ndarray
     #: (r+1,) CSR offsets into ``client_startup``.

@@ -1,0 +1,147 @@
+"""Declarative client mixes expanded into per-client assignments.
+
+A city-scale population is not one client copied N times: it is VOD
+watchers on campus WiFi next to commuters on flaky mobile links next to
+adaptive-bitrate sessions, all pulling different videos from a catalog
+with Zipf-skewed popularity.  :class:`MixSpec` declares that mixture
+once — weighted :class:`ClientClass`es plus catalog parameters — and
+expands it into concrete per-client :class:`ClientAssignment`s from the
+population's root seed.
+
+Expansion is deterministic and stream-isolated: the class draw, the
+Zipf permutation, and the per-client video choices each use their own
+:class:`~repro.rng.RngFactory` label, so adding a class or growing the
+catalog perturbs nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cdn.catalog import Catalog
+from ..errors import ConfigError
+from ..rng import RngFactory
+
+__all__ = [
+    "DRIVER_KINDS",
+    "ClientAssignment",
+    "ClientClass",
+    "MixSpec",
+]
+
+#: Driver flavors a client class can request: ``vod`` watches the whole
+#: clip through MSPlayer, ``live`` is an MSPlayer session tuned for a
+#: shallow live-edge buffer, ``adaptive`` runs the DASH-style
+#: segment/bitrate driver (:mod:`repro.ext.adaptive`).
+DRIVER_KINDS = ("vod", "live", "adaptive")
+
+
+@dataclass(frozen=True)
+class ClientClass:
+    """One weighted slice of the population."""
+
+    name: str
+    weight: float
+    driver: str = "vod"
+    #: Profile name resolved against ``repro.sim.profiles.PROFILES``
+    #: (``campus``, ``mobile``, ``youtube``, ...).
+    profile: str = "youtube"
+    #: Optional pre-buffer override (seconds); ``None`` keeps the
+    #: experiment's base :class:`~repro.core.config.PlayerConfig`.
+    prebuffer_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"class {self.name!r} needs a positive weight")
+        if self.driver not in DRIVER_KINDS:
+            raise ConfigError(
+                f"unknown driver {self.driver!r}; expected one of {DRIVER_KINDS}"
+            )
+        if self.prebuffer_s is not None and self.prebuffer_s <= 0:
+            raise ConfigError("prebuffer_s override must be positive")
+
+
+@dataclass(frozen=True)
+class ClientAssignment:
+    """One client's concrete draw from the mix."""
+
+    index: int
+    client_class: str
+    driver: str
+    profile: str
+    prebuffer_s: float | None
+    video_id: str
+
+
+#: A city-shaped default: mostly VOD on good links, a live-edge slice,
+#: a mobile commuter slice, and an adaptive-bitrate slice.
+CITY_MIX_CLASSES = (
+    ClientClass("vod-campus", weight=0.45, driver="vod", profile="campus"),
+    ClientClass("vod-mobile", weight=0.25, driver="vod", profile="mobile"),
+    ClientClass("live", weight=0.15, driver="live", profile="youtube", prebuffer_s=5.0),
+    ClientClass("adaptive", weight=0.15, driver="adaptive", profile="youtube"),
+)
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """The declarative mixture: classes plus catalog shape."""
+
+    classes: tuple[ClientClass, ...] = CITY_MIX_CLASSES
+    catalog_size: int = 24
+    zipf_s: float = 1.1
+    copyrighted_fraction: float = 0.2
+    mean_duration_s: float = 90.0
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigError("a mix needs at least one client class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate class names in mix: {names}")
+        if self.catalog_size < 1:
+            raise ConfigError("catalog_size must be positive")
+
+    def build_catalog(self, factory: RngFactory) -> Catalog:
+        """The population's shared video catalog (stream ``mix.catalog``)."""
+        return Catalog.synthetic(
+            factory.generator("mix.catalog"),
+            count=self.catalog_size,
+            copyrighted_fraction=self.copyrighted_fraction,
+            mean_duration_s=self.mean_duration_s,
+        )
+
+    def assign(
+        self, factory: RngFactory, count: int, catalog: Catalog
+    ) -> list[ClientAssignment]:
+        """Expand the mix into ``count`` per-client assignments."""
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        total = sum(c.weight for c in self.classes)
+        weights = [c.weight / total for c in self.classes]
+        class_rng = factory.generator("mix.classes")
+        class_indices = class_rng.choice(len(self.classes), size=count, p=weights)
+
+        popularity = catalog.popularity_weights(
+            factory.generator("mix.zipf"), zipf_s=self.zipf_s
+        )
+        video_ids = list(popularity)
+        video_rng = factory.generator("mix.videos")
+        video_indices = video_rng.choice(
+            len(video_ids), size=count, p=list(popularity.values())
+        )
+
+        assignments = []
+        for index in range(count):
+            client_class = self.classes[int(class_indices[index])]
+            assignments.append(
+                ClientAssignment(
+                    index=index,
+                    client_class=client_class.name,
+                    driver=client_class.driver,
+                    profile=client_class.profile,
+                    prebuffer_s=client_class.prebuffer_s,
+                    video_id=video_ids[int(video_indices[index])],
+                )
+            )
+        return assignments

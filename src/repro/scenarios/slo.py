@@ -1,0 +1,105 @@
+"""Population-level SLO reporting, computed columnar.
+
+Scenario experiments are judged the way an operator judges a fleet —
+not per-figure curves but service-level objectives over the whole
+population:
+
+* **start-up tail**: p50/p95/p99 of every client's start-up delay
+  (pooled across replicates, from the batch's CSR column);
+* **rebuffer ratio**: stalled seconds per session second, the industry
+  QoE headline;
+* **failover rate**: source failovers per session — how hard the §2
+  robustness machinery worked;
+* **load imbalance**: max/mean server byte ratio (idle replicas count),
+  averaged over replicates;
+* **completion**: fraction of sessions whose playback ever started.
+
+Everything reads the dense replicate aggregates and the CSR start-up
+column of :class:`~repro.ext.population.PopulationBatch` — no result
+objects are materialized, so SLOs on a thousand-replicate study cost a
+few numpy reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ext.population import PopulationBatch
+
+__all__ = ["SLOReport", "population_slo"]
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One policy's population SLOs across replicates."""
+
+    sessions: int
+    completed: int
+    p50_startup_s: float
+    p95_startup_s: float
+    p99_startup_s: float
+    rebuffer_ratio: float
+    failover_rate: float
+    imbalance_mean: float
+    imbalance_max: float
+    total_gbytes: float
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.sessions if self.sessions else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Raw-dict form for archives and renderers."""
+        return {
+            "sessions": float(self.sessions),
+            "completed": float(self.completed),
+            "completion_rate": self.completion_rate,
+            "p50_startup_s": self.p50_startup_s,
+            "p95_startup_s": self.p95_startup_s,
+            "p99_startup_s": self.p99_startup_s,
+            "rebuffer_ratio": self.rebuffer_ratio,
+            "failover_rate": self.failover_rate,
+            "imbalance_mean": self.imbalance_mean,
+            "imbalance_max": self.imbalance_max,
+            "total_gbytes": self.total_gbytes,
+        }
+
+
+def population_slo(batch: PopulationBatch) -> SLOReport:
+    """Reduce one policy's replicate batch to its SLO report.
+
+    Start-up percentiles pool every client across replicates (the tail
+    an operator sees, not a mean of per-replicate tails); ratios use
+    population-total numerators and denominators for the same reason.
+    """
+    startups = batch.client_startup
+    if startups.size:
+        p50, p95, p99 = (
+            float(q) for q in np.quantile(startups, (0.5, 0.95, 0.99))
+        )
+    else:
+        p50 = p95 = p99 = float("nan")
+    session_time = float(np.sum(batch.session_time))
+    sessions = int(np.sum(batch.sessions))
+    return SLOReport(
+        sessions=sessions,
+        completed=int(np.sum(batch.completed)),
+        p50_startup_s=p50,
+        p95_startup_s=p95,
+        p99_startup_s=p99,
+        rebuffer_ratio=(
+            float(np.sum(batch.total_stall)) / session_time if session_time else 0.0
+        ),
+        failover_rate=(
+            float(np.sum(batch.total_failovers)) / sessions if sessions else 0.0
+        ),
+        imbalance_mean=(
+            float(np.mean(batch.load_imbalance)) if len(batch) else float("nan")
+        ),
+        imbalance_max=(
+            float(np.max(batch.load_imbalance)) if len(batch) else float("nan")
+        ),
+        total_gbytes=float(np.sum(batch.total_server_bytes)) / 1e9,
+    )

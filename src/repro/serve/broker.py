@@ -485,6 +485,65 @@ class Broker:
         if row is None:
             raise ServiceError(f"unknown cell {job_id}/{cell}")
         state, manifest, npz = row
+        if state == "done" and (manifest is None or npz is None):
+            raise ServiceError(
+                f"cell {job_id}/{cell} has no result (state={state}): "
+                "its blobs were purged by broker gc"
+            )
         if state != "done" or manifest is None or npz is None:
             raise ServiceError(f"cell {job_id}/{cell} has no result (state={state})")
         return manifest, bytes(npz)
+
+    # -- maintenance --------------------------------------------------------
+
+    def gc(self, keep_days: float = 7.0) -> dict[str, int]:
+        """Purge result blobs of completed studies older than the cutoff.
+
+        A study is *completed* when none of its cells are pending,
+        leased, or failed — in-flight and quarantined studies keep their
+        bytes so workers and post-mortems are never pulled out from
+        under.  Purging NULLs the ``manifest``/``npz`` payloads but
+        keeps the study and cell rows: ``status`` stays answerable
+        forever, only ``result`` reports the blobs gone.  Returns
+        ``{"studies", "cells", "bytes"}`` purge accounting.
+        """
+        if keep_days < 0:
+            raise ConfigError(f"keep_days must be >= 0, got {keep_days}")
+        cutoff = self._clock() - keep_days * 86400.0
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT s.job_id FROM studies s WHERE s.created < ?"
+                " AND NOT EXISTS (SELECT 1 FROM cells c"
+                "   WHERE c.job_id = s.job_id AND c.state != 'done')"
+                " ORDER BY s.created",
+                (cutoff,),
+            ).fetchall()
+            purged_studies = 0
+            purged_cells = 0
+            freed = 0
+            for (job_id,) in rows:
+                size, count = self._db.execute(
+                    "SELECT COALESCE(SUM(LENGTH(npz)), 0)"
+                    " + COALESCE(SUM(LENGTH(manifest)), 0), COUNT(*)"
+                    " FROM cells WHERE job_id=? AND npz IS NOT NULL",
+                    (job_id,),
+                ).fetchone()
+                if count == 0:
+                    continue  # already purged on an earlier pass
+                self._db.execute(
+                    "UPDATE cells SET manifest=NULL, npz=NULL WHERE job_id=?",
+                    (job_id,),
+                )
+                purged_studies += 1
+                purged_cells += count
+                freed += size
+            self._db.commit()
+            if purged_cells:
+                # Reclaim the file space the NULLed blobs occupied.
+                self._db.execute("VACUUM")
+        if purged_studies:
+            self._emit(
+                f"[gc] purged {purged_cells} cell blob(s) across "
+                f"{purged_studies} completed study(ies), {freed} bytes"
+            )
+        return {"studies": purged_studies, "cells": purged_cells, "bytes": freed}

@@ -221,6 +221,40 @@ def mobility_profile(
     )
 
 
+def mobile_profile() -> NetworkProfile:
+    """A commuter's access: weak jittery WiFi, LTE doing the real work.
+
+    The scenarios package assigns this to the mobile share of a city
+    mix.  The profile carries a short WiFi walk-out window (the §2
+    scenario, scaled down); the scenario experiment schedules it
+    relative to each client's *arrival*, so a population sees walk-outs
+    spread across its whole timeline rather than synchronized at t=0.
+    """
+    base = youtube_profile()
+    return base.with_(
+        name="mobile",
+        wifi=InterfaceProfile(
+            kind="wifi",
+            mean_mbps=5.0,
+            sigma=0.35,
+            rho=0.75,
+            one_way_delay_s=25.0 * MS,
+            jitter_std_s=6.0 * MS,
+            markov_states=((1.2, 5.0), (0.5, 2.5)),
+        ),
+        lte=InterfaceProfile(
+            kind="lte",
+            mean_mbps=6.5,
+            sigma=0.40,
+            rho=0.85,
+            one_way_delay_s=50.0 * MS,
+            jitter_std_s=10.0 * MS,
+            markov_states=((1.25, 6.0), (0.55, 3.0)),
+        ),
+        outages=(OutageEvent("wifi", 15.0, 30.0),),
+    )
+
+
 #: Most test modules import ``testbed_profile`` under its own name, and
 #: pytest's default ``python_functions = test*`` pattern matches it —
 #: so without this marker every importing module "grows" a bogus test
@@ -229,9 +263,13 @@ def mobility_profile(
 testbed_profile.__test__ = False  # type: ignore[attr-defined]
 
 
-#: Registry used by benches and examples.
+#: Registry used by benches, examples, and scenario client mixes.
+#: ``campus`` aliases the §5 testbed — the name the mix classes use for
+#: a well-provisioned access network.
 PROFILES = {
     "testbed": testbed_profile,
+    "campus": testbed_profile,
     "youtube": youtube_profile,
     "mobility": mobility_profile,
+    "mobile": mobile_profile,
 }

@@ -437,23 +437,48 @@ class StudyCache:
             ok.append(entry.key)
         return ok, bad
 
-    def gc(self, everything: bool = False) -> tuple[int, int]:
+    def gc(
+        self,
+        everything: bool = False,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> tuple[int, int]:
         """Collect garbage; returns (entries removed, bytes freed).
 
-        Removes: quarantined files, leftover temp files, incomplete
-        entries, entries from other cache/archive versions, and entries
-        whose fingerprint no longer matches the current code
+        Always removes: quarantined files, leftover temp files,
+        incomplete entries, entries from other cache/archive versions,
+        and entries whose fingerprint no longer matches the current code
         (``everything=True`` drops every entry instead).
+
+        Retention bounds tighten that further over the *surviving*
+        (valid, current-code) entries:
+
+        * ``max_age_days`` evicts entries whose meta ``created_unix``
+          is older than the cutoff;
+        * ``max_bytes`` then evicts oldest-first (by ``created_unix``,
+          key as tiebreak for determinism) until the survivors' total
+          size fits the budget.
+
+        ``now`` overrides the wall clock (tests).
         """
         removed = 0
         freed = 0
         current = code_fingerprint()
+        if now is None:
+            now = time.time()
 
         def _unlink(path: Path) -> None:
             nonlocal freed
             if path.exists():
                 freed += path.stat().st_size
                 path.unlink()
+
+        def _drop(entry: CacheEntry) -> None:
+            nonlocal removed
+            removed += 1
+            for path in (entry.json_path, entry.npz_path, entry.meta_path):
+                _unlink(path)
 
         if self.quarantine_dir.is_dir():
             for path in sorted(self.quarantine_dir.iterdir()):
@@ -462,6 +487,7 @@ class StudyCache:
         if self.entries_dir.is_dir():
             for path in sorted(self.entries_dir.glob("*.tmp-*")):
                 _unlink(path)
+        survivors: list[CacheEntry] = []
         for entry in self.entries():
             stale = (
                 everything
@@ -472,9 +498,37 @@ class StudyCache:
                 or entry.meta.get("fingerprint") != current
             )
             if stale:
-                removed += 1
-                for path in (entry.json_path, entry.npz_path, entry.meta_path):
-                    _unlink(path)
+                _drop(entry)
+            else:
+                survivors.append(entry)
+
+        def _created(entry: CacheEntry) -> float:
+            created = entry.meta.get("created_unix")
+            # An unparseable timestamp sorts oldest, so a mangled meta
+            # is first out the door under either bound.
+            return float(created) if isinstance(created, (int, float)) else 0.0
+
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            kept: list[CacheEntry] = []
+            for entry in survivors:
+                if _created(entry) < cutoff:
+                    _drop(entry)
+                else:
+                    kept.append(entry)
+            survivors = kept
+
+        if max_bytes is not None:
+            sized = [(entry, entry.size_bytes()) for entry in survivors]
+            total = sum(size for _entry, size in sized)
+            # Oldest first; content keys break created_unix ties so two
+            # runs of the same gc evict the same entries.
+            sized.sort(key=lambda pair: (_created(pair[0]), pair[0].key))
+            for entry, size in sized:
+                if total <= max_bytes:
+                    break
+                _drop(entry)
+                total -= size
         return removed, freed
 
 

@@ -114,6 +114,10 @@ def _ensure_builtins() -> None:
         from ..analysis import experiments as _experiments  # noqa: F401
 
         del _experiments
+    if "x8" not in _REGISTRY:
+        from ..scenarios import experiments as _scenario_experiments  # noqa: F401
+
+        del _scenario_experiments
 
 
 def get_experiment(experiment_id: str) -> ExperimentDef:

@@ -20,7 +20,10 @@ _KNOWN_FLAGS = {
     "policies": ("--policies", "static"),
 }
 
-_ALL_IDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "table1", "x1", "x2", "x3", "x6"]
+_ALL_IDS = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "table1",
+    "x1", "x2", "x3", "x6", "x8", "x9",
+]
 
 
 class TestParser:
@@ -97,7 +100,7 @@ class TestSchemaRejectionWall:
         assert code == 2
         assert "bogus_knob" in capsys.readouterr().err
 
-    def test_registry_is_exactly_the_ten_experiments(self):
+    def test_registry_is_exactly_the_known_experiments(self):
         assert experiment_ids() == _ALL_IDS
 
 
@@ -378,3 +381,82 @@ class TestCacheCLI:
         monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
         assert main(["cache", "ls"]) == 0
         assert "2 entries" in capsys.readouterr().out
+
+
+class TestCacheGCBounds:
+    """`cache gc --max-bytes/--max-age` and `serve --gc --keep-days`."""
+
+    def _sweep(self, tmp_path):
+        return main(
+            ["experiment", "fig2", "--trials", "2",
+             "--grid", "seed=2014,2015", "--cache", str(tmp_path / "cache")]
+        )
+
+    def test_gc_max_bytes_evicts_oldest_first(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        # A budget of one entry's size keeps only the newest entry.
+        assert main(["cache", "gc", "--max-bytes", "0", str(tmp_path / "cache")]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "ls", str(tmp_path / "cache")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_gc_max_bytes_accepts_size_suffixes(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-bytes", "1GB", str(tmp_path / "cache")]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_gc_max_age_spares_fresh_entries(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-age", "30", str(tmp_path / "cache")]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["cache", "gc", "--max-age", "0", str(tmp_path / "cache")]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_gc_negative_max_age_exits_2(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        code = main(["cache", "gc", "--max-age", "-1", str(tmp_path / "cache")])
+        assert code == 2
+        assert "--max-age" in capsys.readouterr().err
+
+    def test_gc_unparseable_max_bytes_exits_2(self, tmp_path, capsys):
+        assert self._sweep(tmp_path) == 0
+        capsys.readouterr()
+        code = main(["cache", "gc", "--max-bytes", "lots", str(tmp_path / "cache")])
+        assert code == 2
+
+    def test_serve_gc_purges_completed_studies(self, tmp_path, capsys):
+        from repro.serve.broker import Broker
+        from repro.serve.cells import cell_archive, execute_cell
+        from repro.sim.execution import SerialEngine
+
+        db = tmp_path / "queue.sqlite3"
+        broker = Broker(db)
+        job = broker.submit(
+            {"experiment": "fig2", "params": {"trials": 1, "seed": 2014}, "axes": {}}
+        )
+        lease = broker.lease("w0")
+        cell = execute_cell(
+            "fig2", {"trials": 1, "seed": 2014}, engine=SerialEngine()
+        )
+        manifest, npz = cell_archive("fig2", cell)
+        broker.complete(
+            job["job_id"], 0, manifest, npz,
+            lease_id=lease["lease_id"], worker="w0",
+        )
+        broker.close()
+        assert main(["serve", "--db", str(db), "--gc", "--keep-days", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "purged 1 cell blob(s)" in out
+        # Second pass finds nothing left to purge.
+        assert main(["serve", "--db", str(db), "--gc", "--keep-days", "0"]) == 0
+        assert "purged 0 cell blob(s)" in capsys.readouterr().out
+
+    def test_serve_gc_negative_keep_days_exits_2(self, tmp_path, capsys):
+        db = tmp_path / "queue.sqlite3"
+        code = main(["serve", "--db", str(db), "--gc", "--keep-days", "-2"])
+        assert code == 2
+        assert "keep_days" in capsys.readouterr().err

@@ -55,3 +55,10 @@ class TestExamples:
         output = run_example("live_loopback.py", timeout=120.0)
         assert "loopback CDN up" in output
         assert "start-up delay" in output
+
+    def test_city_scenarios(self):
+        output = run_example("city_scenarios.py", "4")
+        assert "EXP-X8" in output
+        assert "EXP-X9" in output
+        assert "p95 start-up" in output
+        assert "SLO panel keys:" in output

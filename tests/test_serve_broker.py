@@ -322,3 +322,67 @@ class TestCacheIntegration:
         run_worker(broker, jobs="serial", once=True, poll=0.01, worker_id="w0")
         for cell, seed in enumerate((2014, 2015)):
             assert broker.result(job, cell) == archives[seed]
+
+
+class TestBrokerGC:
+    """`repro serve --gc`: completed studies older than the cutoff lose
+    their result blobs; everything in flight keeps its bytes."""
+
+    def _finish_job(self, broker, archives, payload) -> str:
+        job = broker.submit(payload)
+        while True:
+            lease = broker.lease("w0")
+            if lease is None:
+                break
+            complete_lease(broker, lease, archives)
+        assert broker.status(job["job_id"])["state"] == "done"
+        return job["job_id"]
+
+    def test_old_completed_study_is_purged(self, make_broker, archives):
+        clock = Clock()
+        broker = make_broker(clock=clock)
+        job_id = self._finish_job(broker, archives, single_payload())
+        clock.advance(8 * 86400.0)
+        stats = broker.gc(keep_days=7.0)
+        assert stats["studies"] == 1
+        assert stats["cells"] == 1
+        assert stats["bytes"] > 0
+        # Status stays answerable; only the blobs are gone.
+        assert broker.status(job_id)["state"] == "done"
+        with pytest.raises(ServiceError, match="purged"):
+            broker.result(job_id, 0)
+
+    def test_recent_and_inflight_studies_survive(self, make_broker, archives):
+        clock = Clock()
+        broker = make_broker(clock=clock)
+        old_done = self._finish_job(broker, archives, single_payload(seed=2014))
+        clock.advance(8 * 86400.0)
+        fresh_done = self._finish_job(broker, archives, single_payload(seed=2015))
+        inflight = broker.submit(grid_payload())
+        stats = broker.gc(keep_days=7.0)
+        assert stats["studies"] == 1
+        with pytest.raises(ServiceError, match="purged"):
+            broker.result(old_done, 0)
+        manifest, npz = broker.result(fresh_done, 0)
+        assert manifest and npz
+        assert broker.status(inflight["job_id"])["state"] == "running"
+
+    def test_gc_is_idempotent(self, make_broker, archives):
+        clock = Clock()
+        broker = make_broker(clock=clock)
+        self._finish_job(broker, archives, single_payload())
+        clock.advance(8 * 86400.0)
+        assert broker.gc(keep_days=7.0)["studies"] == 1
+        again = broker.gc(keep_days=7.0)
+        assert again == {"studies": 0, "cells": 0, "bytes": 0}
+
+    def test_negative_keep_days_rejected(self, make_broker):
+        with pytest.raises(ConfigError, match="keep_days"):
+            make_broker().gc(keep_days=-1.0)
+
+    def test_keep_days_zero_purges_all_completed(self, make_broker, archives):
+        clock = Clock()
+        broker = make_broker(clock=clock)
+        self._finish_job(broker, archives, single_payload())
+        clock.advance(1.0)
+        assert broker.gc(keep_days=0.0)["studies"] == 1

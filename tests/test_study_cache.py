@@ -370,3 +370,69 @@ class TestResolveCacheAndManifest:
             for columns in cell.columns.values():
                 for column in columns.values():
                     assert isinstance(column, np.ndarray)
+
+
+class TestRetentionGC:
+    """`repro cache gc --max-bytes/--max-age`: bounded oldest-first."""
+
+    def _stamp(self, cache: StudyCache, created: dict[str, int]) -> None:
+        """Rewrite each entry's created_unix for deterministic aging."""
+        for entry in cache.entries():
+            meta = dict(entry.meta)
+            meta["created_unix"] = created[entry.key]
+            entry.meta_path.write_text(json.dumps(meta, sort_keys=True))
+
+    def _filled_cache(self, tmp_path) -> tuple[StudyCache, list[str]]:
+        """Three valid entries, stamped oldest -> newest in key order."""
+        cache = StudyCache(tmp_path / "cache")
+        Study("fig2", trials=1).grid(seed=[2014, 2015, 2016]).run(cache=cache)
+        keys = [entry.key for entry in cache.entries()]
+        assert len(keys) == 3
+        self._stamp(
+            cache, {key: 1_000 + 100 * index for index, key in enumerate(keys)}
+        )
+        return cache, keys
+
+    def test_max_age_evicts_only_the_old(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        # now=86400*2+1150: entries at t=1000,1100 are older than 1 day,
+        # the one at t=1200 is not.
+        removed, freed = cache.gc(max_age_days=1.0, now=86400.0 + 1150.0)
+        assert removed == 2
+        assert freed > 0
+        assert [entry.key for entry in cache.entries()] == [keys[2]]
+
+    def test_max_bytes_evicts_oldest_first(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        sizes = {entry.key: entry.size_bytes() for entry in cache.entries()}
+        budget = sizes[keys[1]] + sizes[keys[2]]
+        removed, freed = cache.gc(max_bytes=budget, now=2_000.0)
+        assert removed == 1
+        assert freed == sizes[keys[0]]
+        survivors = {entry.key for entry in cache.entries()}
+        assert survivors == {keys[1], keys[2]}
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        cache, _keys = self._filled_cache(tmp_path)
+        removed, _freed = cache.gc(max_bytes=0, now=2_000.0)
+        assert removed == 3
+        assert cache.entries() == []
+
+    def test_bounds_spare_a_cache_within_budget(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        removed, freed = cache.gc(
+            max_bytes=10**9, max_age_days=365.0, now=2_000.0
+        )
+        assert (removed, freed) == (0, 0)
+        assert [entry.key for entry in cache.entries()] == keys
+
+    def test_bounded_survivors_still_serve_hits(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        Study("fig2", trials=1).grid(seed=[2014, 2015]).run(cache=cache)
+        entries = cache.entries()
+        budget = max(entry.size_bytes() for entry in entries) + 8
+        cache.gc(max_bytes=budget)
+        again = Study("fig2", trials=1).grid(seed=[2014, 2015]).run(cache=cache)
+        assert again.cache_info is not None
+        assert again.cache_info.hits == 1
+        assert again.cache_info.misses == 1

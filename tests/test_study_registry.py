@@ -11,6 +11,7 @@ import pathlib
 import pytest
 
 from repro.analysis import experiments as exp
+from repro.scenarios import experiments as scenario_exp
 from repro.errors import ConfigError
 from repro.study import (
     ExperimentDef,
@@ -23,7 +24,10 @@ from repro.study import (
 from repro.study.params import Param
 from repro.units import parse_size
 
-ALL_IDS = ["fig1", "fig2", "fig3", "fig4", "fig5", "table1", "x1", "x2", "x3", "x6"]
+ALL_IDS = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "table1",
+    "x1", "x2", "x3", "x6", "x8", "x9",
+]
 
 #: id -> legacy compatibility wrapper (the pre-redesign call surface).
 WRAPPERS = {
@@ -37,6 +41,8 @@ WRAPPERS = {
     "x2": exp.x2_source_diversity,
     "x3": exp.x3_estimators,
     "x6": exp.x6_population,
+    "x8": scenario_exp.x8_city_diurnal,
+    "x9": scenario_exp.x9_flash_crowd,
 }
 
 
@@ -99,7 +105,7 @@ class TestParamSchema:
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
+    def test_all_known_experiments_registered(self):
         assert experiment_ids() == ALL_IDS
 
     def test_unknown_id_raises_with_known_ids(self):
